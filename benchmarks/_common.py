@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one figure or table of the paper (or of the
+companion evaluations the paper references) and prints the reproduced
+rows/series, so running ``pytest benchmarks/ --benchmark-only -s`` gives the
+material recorded in EXPERIMENTS.md while pytest-benchmark captures the
+runtime of the reproduced construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print a fixed-width table with a title banner."""
+    rows = [tuple(str(c) for c in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        widths = [max(w, len(c)) for w, c in zip(widths, row)]
+    line = " | ".join(h.rjust(w) for h, w in zip(headers, widths))
+    print(f"\n--- {title} ---")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+
+
+def print_series(title: str, series: Dict[str, Sequence]) -> None:
+    """Print named series (the textual analogue of a figure's curves)."""
+    print(f"\n--- {title} ---")
+    for name, values in series.items():
+        rendered = ", ".join(
+            f"{v:.2f}" if isinstance(v, float) else str(v) for v in values
+        )
+        print(f"{name}: [{rendered}]")

@@ -1,0 +1,96 @@
+"""Ablation — which parts of the information model earn their keep.
+
+DESIGN.md calls out two routing-side design choices for ablation:
+
+* **boundary information vs adjacent-only information** — the difference
+  between this paper and Wu's static faulty-block model: without boundary
+  propagation a probe only learns about a block when it is already next to
+  it;
+* **spare-direction ordering** — Algorithm 3 ranks spare directions that
+  run along a known block above other spares; disabling the distinction
+  shows how much the ordering contributes when probes walk around blocks.
+
+The bench routes the same batch of messages under each variant against the
+same stabilized fault configurations and prints the resulting detour table.
+"""
+
+import numpy as np
+from _common import print_table
+
+from repro.baselines.static_block import adjacent_only_information
+from repro.core.block_construction import build_blocks
+from repro.core.distribution import distribute_information
+from repro.core.routing import RoutingPolicy, route_offline
+from repro.core.state import InformationState
+from repro.faults.injection import clustered_faults, uniform_random_faults
+from repro.mesh.topology import Mesh
+from repro.workloads.traffic import random_pairs
+
+
+def _setup(seed, fault_count=20, radix=16):
+    rng = np.random.default_rng(seed)
+    mesh = Mesh.cube(radix, 2)
+    centre = tuple(s // 2 for s in mesh.shape)
+    faults = clustered_faults(mesh, fault_count // 2, rng, spread=3, seed_node=centre)
+    faults += uniform_random_faults(mesh, fault_count - len(faults), rng, exclude=faults)
+    labeling = build_blocks(mesh, faults).state
+    pairs = random_pairs(
+        mesh,
+        24,
+        rng,
+        min_distance=mesh.diameter // 2,
+        exclude=list(labeling.block_nodes),
+    )
+    return mesh, labeling, pairs
+
+
+def _mean_detours(info, pairs, policy):
+    detours = []
+    for source, destination in pairs:
+        route = route_offline(info, source, destination, policy=policy)
+        assert route.delivered
+        detours.append(route.detours)
+    return float(np.mean(detours))
+
+
+def test_ablation_information_and_ordering(benchmark):
+    mesh, labeling, pairs = _setup(seed=3)
+    full_info = distribute_information(mesh, labeling)
+    adjacent_info = adjacent_only_information(mesh, labeling)
+    bare_info = InformationState(mesh=mesh, labeling=labeling)
+
+    variants = {
+        "full model (block + boundary)": (full_info, RoutingPolicy.limited_global()),
+        "no boundary info (adjacent only)": (
+            adjacent_info,
+            RoutingPolicy(name="adjacent-only", use_boundary_info=False),
+        ),
+        "no block info (boundary only)": (
+            full_info,
+            RoutingPolicy(name="boundary-only", use_block_info=False),
+        ),
+        "no disabled-avoidance": (
+            full_info,
+            RoutingPolicy(name="no-disabled-avoid", avoid_known_disabled=False),
+        ),
+        "no information at all": (bare_info, RoutingPolicy.no_information()),
+    }
+
+    benchmark(_mean_detours, full_info, pairs, RoutingPolicy.limited_global())
+
+    rows = []
+    measured = {}
+    for name, (info, policy) in variants.items():
+        mean = _mean_detours(info, pairs, policy)
+        measured[name] = mean
+        rows.append((name, f"{mean:.2f}"))
+    print_table(
+        "Ablation: mean detours per routing variant (16x16 mesh, 20 faults)",
+        ["variant", "mean detours"],
+        rows,
+    )
+
+    # The full model must not be worse than dropping all information, and
+    # dropping everything must be the worst (or tied) variant.
+    assert measured["full model (block + boundary)"] <= measured["no information at all"] + 1e-9
+    assert max(measured.values()) == measured["no information at all"]

@@ -1,0 +1,42 @@
+"""Figure 1 — faulty block formation in a 3-D mesh.
+
+The paper's Figure 1(a): faults (3,5,4), (4,5,4), (5,5,3), (3,6,3) in a 3-D
+mesh coalesce into the block [3:5, 5:6, 3:4]; Figure 1(b): its six adjacent
+surfaces.  The bench reproduces the block and its surfaces and times the
+block construction (Algorithm 1) on the paper's mesh size.
+"""
+
+from _common import print_table
+
+from repro.core.block_construction import build_blocks
+from repro.mesh.regions import Region
+from repro.workloads.scenarios import FIGURE1_EXTENT, FIGURE1_FAULTS, figure1_scenario
+
+
+def test_fig1_block_construction(benchmark):
+    scenario = figure1_scenario()
+    mesh = scenario.mesh
+
+    result = benchmark(build_blocks, mesh, FIGURE1_FAULTS)
+
+    assert [b.extent for b in result.blocks] == [FIGURE1_EXTENT]
+    block = result.blocks[0]
+    surfaces = block.adjacent_surfaces(mesh)
+
+    print_table(
+        "Figure 1(a): faulty block from the four faults",
+        ["quantity", "paper", "measured"],
+        [
+            ("block extent", "[3:5, 5:6, 3:4]", str(block)),
+            ("member nodes", "12 (rectangular)", len(block.nodes)),
+            ("faulty / disabled", "4 / 8", f"{len(block.faulty_nodes)} / {len(block.disabled_nodes)}"),
+            ("labeling rounds a_i", "O(block edge)", result.rounds),
+        ],
+    )
+    print_table(
+        "Figure 1(b): adjacent surfaces of the block",
+        ["surface", "extent (measured)"],
+        [(f"S{i}", f"{s.lo}..{s.hi}") for i, s in sorted(surfaces.items())],
+    )
+    assert len(surfaces) == 6
+    assert surfaces[1] == Region((3, 4, 3), (5, 4, 4))

@@ -1,0 +1,56 @@
+"""Figure 2 — the recursive corner structure of a block (Definition 2).
+
+The paper highlights the 3-level corner (6,4,5) of block [3:5, 5:6, 3:4],
+its three 3-level edge neighbors (5,4,5), (6,5,5), (6,4,4), and that each
+edge node has two neighbors adjacent to the block.  The bench reproduces
+these classifications and times the frame/level computation.
+"""
+
+from _common import print_table
+
+from repro.core.block_construction import build_blocks
+from repro.workloads.scenarios import (
+    FIGURE1_FAULTS,
+    FIGURE2_CORNER,
+    FIGURE2_EDGE_NEIGHBORS,
+    figure1_scenario,
+)
+
+
+def test_fig2_corner_levels(benchmark):
+    scenario = figure1_scenario()
+    mesh = scenario.mesh
+    block = build_blocks(mesh, FIGURE1_FAULTS).blocks[0]
+
+    def classify_frame():
+        return {
+            1: block.adjacent_nodes(mesh),
+            2: block.edge_nodes(mesh),
+            3: block.corners(mesh),
+        }
+
+    levels = benchmark(classify_frame)
+
+    rows = [
+        ("3-level corner (6,4,5)", "3-level corner", f"level {block.level_of(FIGURE2_CORNER)}"),
+    ]
+    for node in FIGURE2_EDGE_NEIGHBORS:
+        rows.append((f"edge neighbor {node}", "3-level edge node", f"level {block.level_of(node)}"))
+    adjacent_of_edge = sorted(
+        n for n in mesh.neighbors((5, 4, 5)) if block.level_of(n) == 1
+    )
+    rows.append(
+        ("(5,4,5) adjacent neighbors", "(5,5,5), (5,4,4)", str(adjacent_of_edge))
+    )
+    rows.append(("n-level corners", "8", len(levels[3])))
+    rows.append(("n-level edge nodes", "perimeter edges", len(levels[2])))
+    rows.append(("adjacent nodes", "faces", len(levels[1])))
+
+    print_table("Figure 2: corner/edge structure of the block", ["item", "paper", "measured"], rows)
+
+    assert block.level_of(FIGURE2_CORNER) == 3
+    assert all(block.level_of(n) == 2 for n in FIGURE2_EDGE_NEIGHBORS)
+    assert sorted(block.edge_neighbors_of_corner(FIGURE2_CORNER, mesh)) == sorted(
+        FIGURE2_EDGE_NEIGHBORS
+    )
+    assert len(levels[3]) == 8

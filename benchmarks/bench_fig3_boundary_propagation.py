@@ -1,0 +1,80 @@
+"""Figure 3 — boundary propagation around a block and merging into a second block.
+
+Figure 3(a)-(c): the boundary for a surface starts from the edges of the
+opposite adjacent surface and propagates away from the block until the
+outmost surface of the mesh.  Figure 3(d): when it intersects another block
+it merges into that block's boundary.  The bench reproduces both and times
+the boundary construction.
+"""
+
+from _common import print_table
+
+from repro.core.block_construction import build_blocks
+from repro.core.boundary import BoundaryProtocol, compute_boundaries
+from repro.core.state import InformationState
+from repro.workloads.scenarios import figure1_scenario, two_block_scenario
+
+
+def test_fig3_single_block_boundary(benchmark):
+    scenario = figure1_scenario()
+    mesh = scenario.mesh
+    result = build_blocks(mesh, scenario.schedule.initial_faults)
+    block = result.blocks[0]
+
+    def construct():
+        info = InformationState(mesh=mesh, labeling=result.state)
+        protocol = BoundaryProtocol(info)
+        protocol.seed_block(block)
+        rounds = protocol.run()
+        return protocol, rounds
+
+    protocol, rounds = benchmark(construct)
+    informed = protocol.informed
+
+    reached_surface = sum(1 for node in informed if mesh.on_outmost_surface(node))
+    print_table(
+        "Figure 3(a)-(c): boundary of the Figure-1 block",
+        ["quantity", "paper", "measured"],
+        [
+            ("propagation direction", "away from the block", "away from the block"),
+            ("boundary rounds c_i", "<= distance to mesh surface", rounds),
+            ("boundary nodes", "walls of the dangerous prisms", len(informed)),
+            ("nodes on the outmost surface reached", ">= 1", reached_surface),
+        ],
+    )
+    assert rounds <= mesh.diameter
+    assert reached_surface > 0
+
+
+def test_fig3d_boundary_merging(benchmark):
+    scenario = two_block_scenario()
+    mesh = scenario.mesh
+    result = build_blocks(mesh, scenario.schedule.initial_faults)
+    blocks = {b.extent: b for b in result.blocks}
+    block_a = blocks[scenario.expected_extents[0]]
+    block_b = blocks[scenario.expected_extents[1]]
+
+    informed = benchmark(compute_boundaries, mesh, [block_a])
+
+    beyond_b = sum(
+        1
+        for node, infos in informed.items()
+        if node[1] < block_b.extent.lo[1]
+        and any(i.extent == block_a.extent for i in infos)
+    )
+    on_b_surface = sum(
+        1
+        for node, infos in informed.items()
+        if node[1] == block_b.extent.hi[1] + 1
+        and any(i.extent == block_a.extent for i in infos)
+    )
+    print_table(
+        "Figure 3(d): block A's boundary merging into block B's boundary",
+        ["quantity", "paper", "measured"],
+        [
+            ("A-info on B's facing surface", "merges into B's surface", on_b_surface),
+            ("A-info beyond B (continued boundary)", "continues past B", beyond_b),
+        ],
+    )
+    assert on_b_surface > 0
+    assert beyond_b > 0

@@ -1,0 +1,59 @@
+"""Figure 4 — recovery of a faulty node and re-stabilization (Definition 4).
+
+The paper recovers node (5,5,3) of the Figure-1 block: the clean status
+propagates to its disabled neighbors, (3,5,3) stays disabled (two faulty
+neighbors in different dimensions) and the blocks re-stabilize to a smaller
+configuration.  The bench replays the walkthrough and times the recovery
+re-stabilization.
+"""
+
+from _common import print_table
+
+from repro.core.block_construction import (
+    LabelingState,
+    extract_blocks,
+    run_block_construction,
+)
+from repro.faults.status import NodeStatus
+from repro.workloads.scenarios import FIGURE1_EXTENT, FIGURE1_FAULTS, figure4_recovery_scenario
+
+
+def test_fig4_recovery(benchmark):
+    scenario = figure4_recovery_scenario()
+    mesh = scenario.mesh
+
+    def recover():
+        state = LabelingState.from_faults(mesh, FIGURE1_FAULTS)
+        run_block_construction(state)
+        state.recover((5, 5, 3))
+        result = run_block_construction(state)
+        return state, result
+
+    state, result = benchmark(recover)
+    blocks = extract_blocks(state)
+
+    print_table(
+        "Figure 4: recovery of (5,5,3)",
+        ["quantity", "paper", "measured"],
+        [
+            ("recovered node final status", "not clean (re-labeled)", state.status((5, 5, 3)).value),
+            ("(3,5,3) status", "stays disabled (2 faults, diff dims)", state.status((3, 5, 3)).value),
+            ("re-stabilization rounds", "small (block-local)", result.rounds),
+            ("blocks after recovery", "shrunk / split (Fig. 4(b))", len(blocks)),
+            (
+                "all members within old extent",
+                "yes",
+                all(FIGURE1_EXTENT.contains_region(b.extent) for b in blocks),
+            ),
+            (
+                "total block members (before -> after)",
+                "12 -> fewer",
+                f"12 -> {sum(len(b.nodes) for b in blocks)}",
+            ),
+        ],
+    )
+
+    assert state.status((3, 5, 3)) is NodeStatus.DISABLED
+    assert state.status((5, 5, 3)) is not NodeStatus.CLEAN
+    assert sum(len(b.nodes) for b in blocks) < 12
+    assert all(FIGURE1_EXTENT.contains_region(b.extent) for b in blocks)

@@ -1,0 +1,60 @@
+"""Figure 5 — the 3-level identification process (Algorithm 2, phases 1-3).
+
+The identification starts at an n-level corner, travels the block's edges
+and sections, and forms the block information at the opposite corner.  The
+bench reproduces the corner-to-corner flow for the paper's initialization
+corner C(xmax, ymin, zmax) = (6,4,5) and sweeps the block edge length to
+show the identification rounds b_i grow with the block, not the mesh.
+"""
+
+from _common import print_series, print_table
+
+from repro.core.block_construction import build_blocks
+from repro.core.identification import IdentificationProtocol
+from repro.core.state import InformationState
+from repro.workloads.scenarios import FIGURE1_EXTENT, FIGURE1_FAULTS, figure1_scenario, parametric_block_scenario
+
+
+def test_fig5_identification_process(benchmark):
+    scenario = figure1_scenario()
+    mesh = scenario.mesh
+    labeling = build_blocks(mesh, FIGURE1_FAULTS).state
+    block = build_blocks(mesh, FIGURE1_FAULTS).blocks[0]
+
+    def identify():
+        info = InformationState(mesh=mesh, labeling=labeling)
+        protocol = IdentificationProtocol(info, block, initialization_corner=(6, 4, 5))
+        return protocol, protocol.run()
+
+    protocol, result = benchmark(identify)
+
+    print_table(
+        "Figure 5: identification of block [3:5, 5:6, 3:4]",
+        ["quantity", "paper", "measured"],
+        [
+            ("initialization corner", "C(xmax, ymin, zmax) = (6,4,5)", str(result.initialization_corner)),
+            ("opposite corner", "C'(xmin, ymax, zmin) = (2,7,2)", str(result.opposite_corner)),
+            ("identified extent", "[3:5, 5:6, 3:4]", str(result.extent)),
+            ("stable", "yes", result.stable),
+            ("identification rounds (phases 1-3)", "O(block perimeter)", result.identification_rounds),
+        ],
+    )
+    assert result.stable
+    assert result.extent == FIGURE1_EXTENT
+    assert result.opposite_corner == (2, 7, 2)
+
+    # Sweep: rounds vs block edge (fixed mesh) and vs mesh radix (fixed block).
+    edge_series = []
+    for edge in (1, 2, 3, 4, 5):
+        sweep = parametric_block_scenario(12, 3, edge=edge)
+        sweep_labeling = build_blocks(
+            sweep.mesh, sweep.schedule.initial_faults
+        ).state
+        info = InformationState(mesh=sweep.mesh, labeling=sweep_labeling)
+        sweep_block = build_blocks(sweep.mesh, sweep.schedule.initial_faults).blocks[0]
+        edge_series.append(IdentificationProtocol(info, sweep_block).run().total_rounds)
+    print_series(
+        "Figure 5 sweep: identification rounds b_i vs block edge (12^3 mesh)",
+        {"edge 1..5": edge_series},
+    )
+    assert edge_series == sorted(edge_series)

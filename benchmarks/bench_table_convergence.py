@@ -1,0 +1,65 @@
+"""Table C1 — convergence of the three constructions (a_i, b_i, c_i).
+
+The companion evaluations support the claim that "fault information can be
+distributed quickly": the labeling and identification rounds scale with the
+block size, and only the boundary propagation sees the mesh radius.  The
+bench sweeps the block edge length, the mesh radix and the mesh dimension,
+printing the measured rounds next to the closed-form expectations.
+"""
+
+from _common import print_table
+
+from repro.analysis.convergence import (
+    expected_boundary_rounds,
+    expected_identification_rounds,
+    expected_labeling_rounds,
+    measure_convergence,
+)
+from repro.workloads.scenarios import parametric_block_scenario
+
+
+def _row(radix, n_dims, edge):
+    scenario = parametric_block_scenario(radix, n_dims, edge=edge)
+    extent = scenario.expected_extents[0]
+    measurement = measure_convergence(scenario.mesh, list(extent.iter_points()))
+    return (
+        f"{radix}^{n_dims}",
+        edge,
+        measurement.labeling_rounds,
+        measurement.identification_rounds,
+        f"~{expected_identification_rounds(extent)}",
+        measurement.boundary_rounds,
+        f"~{expected_boundary_rounds(scenario.mesh, extent)}",
+        measurement.total_rounds,
+        measurement.steps(lam=2),
+    )
+
+
+def test_table_convergence_vs_block_and_mesh(benchmark):
+    # Benchmark the mid-size configuration; print the whole sweep.
+    scenario = parametric_block_scenario(12, 3, edge=3)
+    extent = scenario.expected_extents[0]
+    benchmark(measure_convergence, scenario.mesh, list(extent.iter_points()))
+
+    rows = []
+    for edge in (1, 2, 3, 4, 5):
+        rows.append(_row(12, 3, edge))
+    for radix in (10, 14, 18):
+        rows.append(_row(radix, 3, 3))
+    for n_dims, radix in ((2, 16), (4, 8)):
+        rows.append(_row(radix, n_dims, 2))
+
+    print_table(
+        "Table C1: convergence rounds vs block size, mesh radix and dimension",
+        ["mesh", "block edge", "a", "b", "b expected", "c", "c expected", "a+b+c", "steps (λ=2)"],
+        rows,
+    )
+
+    # Shape checks: b grows with the block edge, and is unchanged by the mesh
+    # radix; c grows with the mesh radix.
+    b_by_edge = [r[3] for r in rows[:5]]
+    assert b_by_edge == sorted(b_by_edge) and b_by_edge[0] < b_by_edge[-1]
+    b_by_radix = [r[3] for r in rows[5:8]]
+    assert max(b_by_radix) - min(b_by_radix) <= 2
+    c_by_radix = [r[5] for r in rows[5:8]]
+    assert c_by_radix == sorted(c_by_radix)

@@ -1,0 +1,94 @@
+"""Table D1 — detours vs number of faults, across routing policies.
+
+The companion evaluations (and this paper's motivation) compare the
+limited-global model against routing without fault information and against
+idealized global information: the limited-global routing should track the
+global-information ideal closely while the information-free routing
+degrades much faster as faults accumulate.  The static faulty-block
+predecessor (adjacent-only information, Wu ICPP 2000) sits in between,
+which isolates the contribution of boundary propagation (the ablation
+called out in DESIGN.md).
+"""
+
+import numpy as np
+from _common import print_table
+
+from repro.analysis.metrics import compare_policies
+from repro.core.block_construction import build_blocks
+from repro.faults.injection import clustered_faults, uniform_random_faults
+from repro.mesh.topology import Mesh
+from repro.workloads.traffic import random_pairs
+
+POLICIES = ("limited-global", "static-block", "no-information", "global-information")
+
+
+def _one_row(mesh, fault_count, seed, messages=20):
+    rng = np.random.default_rng(seed)
+    # Seed the cluster at the mesh centre so large clusters always fit in the
+    # interior regardless of the random seed.
+    centre = tuple(s // 2 for s in mesh.shape)
+    faults = clustered_faults(
+        mesh, fault_count // 2, rng, spread=3, seed_node=centre
+    )
+    faults += uniform_random_faults(mesh, fault_count - len(faults), rng, exclude=faults)
+    labeling = build_blocks(mesh, faults).state
+    pairs = random_pairs(
+        mesh,
+        messages,
+        rng,
+        min_distance=mesh.diameter // 2,
+        exclude=list(labeling.block_nodes),
+    )
+    return compare_policies(mesh, labeling, pairs)
+
+
+def test_table_detours_2d(benchmark):
+    mesh = Mesh.cube(16, 2)
+    comparison = benchmark(_one_row, mesh, 16, seed=11)
+
+    rows = []
+    collected = {}
+    for fault_count in (4, 8, 16, 24, 32):
+        result = _one_row(mesh, fault_count, seed=100 + fault_count)
+        collected[fault_count] = result
+        detours = result.row("mean_detours")
+        rows.append(
+            (fault_count, *[f"{detours[p]:.2f}" for p in POLICIES])
+        )
+    print_table(
+        "Table D1a: mean detours vs fault count (16x16 mesh)",
+        ["faults", *POLICIES],
+        rows,
+    )
+
+    # Shape assertions: global <= limited-global <= no-information on average.
+    for result in collected.values():
+        detours = result.row("mean_detours")
+        assert detours["global-information"] <= detours["limited-global"] + 1e-9
+        assert detours["limited-global"] <= detours["no-information"] + 1e-9
+        assert all(s.delivery_rate == 1.0 for s in result.summaries.values())
+
+
+def test_table_detours_3d(benchmark):
+    mesh = Mesh.cube(10, 3)
+    comparison = benchmark(_one_row, mesh, 12, seed=21, messages=12)
+
+    rows = []
+    for fault_count in (8, 16, 32):
+        result = _one_row(mesh, fault_count, seed=200 + fault_count, messages=16)
+        detours = result.row("mean_detours")
+        backtracks = result.row("mean_backtracks")
+        rows.append(
+            (
+                fault_count,
+                *[f"{detours[p]:.2f}" for p in POLICIES],
+                f"{backtracks['no-information']:.2f}",
+            )
+        )
+    print_table(
+        "Table D1b: mean detours vs fault count (10^3 mesh)",
+        ["faults", *POLICIES, "no-info backtracks"],
+        rows,
+    )
+    detours = comparison.row("mean_detours")
+    assert detours["limited-global"] <= detours["no-information"] + 1e-9

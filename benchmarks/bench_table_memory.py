@@ -1,0 +1,52 @@
+"""Table M1 — memory footprint of limited-global information vs global tables.
+
+The paper argues that the limited-global model "reduces the memory
+requirement to store fault information in the whole network" compared with a
+routing table (one entry per faulty block) at every node.  The bench counts
+the information cells actually stored for growing fault populations and
+mesh sizes.
+"""
+
+import numpy as np
+from _common import print_table
+
+from repro.analysis.metrics import memory_footprint_row
+from repro.core.block_construction import build_blocks
+from repro.faults.injection import clustered_faults, uniform_random_faults
+from repro.mesh.topology import Mesh
+
+
+def _row(radix, n_dims, fault_count, seed):
+    rng = np.random.default_rng(seed)
+    mesh = Mesh.cube(radix, n_dims)
+    faults = clustered_faults(mesh, fault_count // 2, rng, spread=2)
+    faults += uniform_random_faults(mesh, fault_count - len(faults), rng, exclude=faults)
+    labeling = build_blocks(mesh, faults).state
+    row = memory_footprint_row(mesh, labeling)
+    return (
+        f"{radix}^{n_dims}",
+        fault_count,
+        int(row["blocks"]),
+        int(row["limited_global_cells"]),
+        int(row["global_table_cells"]),
+        f"{row['reduction_factor']:.1f}x",
+    )
+
+
+def test_table_memory_footprint(benchmark):
+    benchmark(_row, 12, 3, 12, 7)
+
+    rows = []
+    for radix, n_dims in ((16, 2), (12, 3)):
+        for fault_count in (4, 8, 16):
+            rows.append(_row(radix, n_dims, fault_count, seed=radix * 100 + fault_count))
+    print_table(
+        "Table M1: information cells stored in the whole network",
+        ["mesh", "faults", "blocks", "limited-global cells", "global-table cells", "reduction"],
+        rows,
+    )
+
+    # The limited-global model must store less than the per-node table in
+    # every configuration measured.
+    for row in rows:
+        assert row[3] < row[4]

@@ -1,0 +1,63 @@
+"""Theorem 1 — fault recovery does not affect optimal routing.
+
+After nodes recover and blocks shrink, a routing that was minimal before the
+recovery must stay minimal (the new, smaller boundaries are constructed
+before the old ones are deleted).  The bench routes the same safe
+source/destination pairs before and after recovery events and checks no pair
+gets worse.
+"""
+
+import numpy as np
+from _common import print_table
+
+from repro.core.block_construction import LabelingState, run_block_construction
+from repro.core.distribution import distribute_information
+from repro.core.routing import route_offline
+from repro.faults.injection import clustered_faults
+from repro.mesh.topology import Mesh
+from repro.workloads.traffic import random_pairs
+
+
+def test_theorem1_recovery_preserves_optimality(benchmark):
+    rng = np.random.default_rng(31)
+    mesh = Mesh.cube(12, 3)
+    faults = clustered_faults(mesh, 8, rng, spread=2, seed_node=(6, 6, 6))
+
+    def before_and_after():
+        before_state = LabelingState.from_faults(mesh, faults)
+        run_block_construction(before_state)
+        before_info = distribute_information(mesh, before_state)
+
+        after_state = before_state.copy()
+        for fault in faults[: len(faults) // 2]:
+            after_state.recover(fault)
+        run_block_construction(after_state)
+        after_info = distribute_information(mesh, after_state)
+        return before_info, after_info
+
+    before_info, after_info = benchmark(before_and_after)
+
+    pairs = random_pairs(
+        mesh,
+        20,
+        rng,
+        min_distance=12,
+        exclude=list(before_info.labeling.block_nodes) + list(faults),
+    )
+    rows = []
+    regressions = 0
+    for source, destination in pairs:
+        before = route_offline(before_info, source, destination)
+        after = route_offline(after_info, source, destination)
+        assert before.delivered and after.delivered
+        if after.hops > before.hops:
+            regressions += 1
+        rows.append((f"{source}->{destination}", before.hops, after.hops))
+
+    print_table(
+        "Theorem 1: hops before vs after recovery (same pairs)",
+        ["pair", "hops before recovery", "hops after recovery"],
+        rows[:10] + [("...", "", "")],
+    )
+    print(f"pairs that got worse after recovery: {regressions}/{len(pairs)}")
+    assert regressions == 0

@@ -1,0 +1,71 @@
+"""Theorem 2 — safe sources are routed along minimal paths.
+
+If no block intersects the source-destination bounding box, the routing is
+guaranteed a minimal path (as long as no new fault occurs).  The bench
+classifies random pairs as safe/unsafe for random fault configurations and
+verifies every safe pair is routed with zero detours; unsafe pairs report
+their average extra cost for context.
+"""
+
+import numpy as np
+from _common import print_table
+
+from repro.core.block_construction import build_blocks
+from repro.core.distribution import distribute_information
+from repro.core.routing import route_offline
+from repro.core.safety import is_safe_source
+from repro.faults.injection import clustered_faults, uniform_random_faults
+from repro.mesh.topology import Mesh
+from repro.workloads.traffic import random_pairs
+
+
+def _experiment(n_dims, radix, fault_count, seed, messages=40):
+    rng = np.random.default_rng(seed)
+    mesh = Mesh.cube(radix, n_dims)
+    faults = clustered_faults(mesh, fault_count // 2, rng, spread=2)
+    faults += uniform_random_faults(mesh, fault_count - len(faults), rng, exclude=faults)
+    result = build_blocks(mesh, faults)
+    info = distribute_information(mesh, result.state)
+    pairs = random_pairs(
+        mesh,
+        messages,
+        rng,
+        min_distance=max(2, mesh.diameter // 3),
+        exclude=list(result.state.block_nodes),
+    )
+    safe_detours, unsafe_detours = [], []
+    for source, destination in pairs:
+        route = route_offline(info, source, destination)
+        assert route.delivered
+        if is_safe_source(source, destination, result.blocks):
+            safe_detours.append(route.detours)
+        else:
+            unsafe_detours.append(route.detours)
+    return safe_detours, unsafe_detours
+
+
+def test_theorem2_safe_sources_minimal(benchmark):
+    safe, unsafe = benchmark(_experiment, 2, 14, 10, 17)
+
+    rows = []
+    violations = 0
+    for n_dims, radix, fault_count, seed in ((2, 14, 10, 17), (2, 14, 20, 18), (3, 10, 12, 19)):
+        safe_d, unsafe_d = _experiment(n_dims, radix, fault_count, seed)
+        violations += sum(1 for d in safe_d if d != 0)
+        rows.append(
+            (
+                f"{radix}^{n_dims}",
+                fault_count,
+                len(safe_d),
+                max(safe_d, default=0),
+                len(unsafe_d),
+                f"{np.mean(unsafe_d):.2f}" if unsafe_d else "-",
+            )
+        )
+    print_table(
+        "Theorem 2: detours of safe vs unsafe sources",
+        ["mesh", "faults", "safe pairs", "max detours (safe)", "unsafe pairs", "mean detours (unsafe)"],
+        rows,
+    )
+    assert violations == 0
+    assert all(d == 0 for d in safe)

@@ -1,0 +1,11 @@
+"""Benchmark-suite configuration.
+
+Makes the ``benchmarks`` directory importable as a package root so the
+shared ``_common`` helpers can be imported by every bench module regardless
+of how pytest was invoked.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Comparing routing policies over randomized fault configurations.
+
+For increasing fault counts in 2-D and 3-D meshes, routes the same batch of
+random far-apart messages under four policies — limited-global (the paper),
+the information-free PCS baseline, static faulty-block routing (block info
+at adjacent nodes only, Wu ICPP 2000) and the global-information ideal — and
+prints the mean-detour table.  This is the offline (stabilized-information)
+counterpart of the dynamic experiment in ``dynamic_fault_routing.py``.
+
+Run with::
+
+    python examples/policy_comparison.py
+"""
+
+import numpy as np
+
+from repro.analysis.metrics import compare_policies
+from repro.core.block_construction import build_blocks
+from repro.faults.injection import clustered_faults, uniform_random_faults
+from repro.mesh.topology import Mesh
+from repro.workloads.traffic import random_pairs
+
+POLICIES = ("limited-global", "static-block", "no-information", "global-information")
+
+
+def run_sweep(n_dims: int, radix: int, fault_counts, *, messages: int = 24) -> None:
+    print(f"\n=== {radix}^{n_dims} mesh, {messages} random messages per row ===")
+    header = f"{'faults':>7} | " + " | ".join(f"{p:>19}" for p in POLICIES)
+    print(header)
+    print("-" * len(header))
+    for count in fault_counts:
+        rng = np.random.default_rng(100 + count)
+        mesh = Mesh.cube(radix, n_dims)
+        # Half the faults clustered (producing a sizable block), half spread.
+        faults = clustered_faults(mesh, count // 2, rng, spread=2)
+        faults += uniform_random_faults(mesh, count - count // 2, rng, exclude=faults)
+        labeling = build_blocks(mesh, faults).state
+        pairs = random_pairs(
+            mesh,
+            messages,
+            rng,
+            min_distance=mesh.diameter // 2,
+            exclude=list(labeling.block_nodes),
+        )
+        comparison = compare_policies(mesh, labeling, pairs)
+        detours = comparison.row("mean_detours")
+        delivery = comparison.row("delivery_rate")
+        cells = " | ".join(
+            f"{detours[p]:>8.2f} ({delivery[p] * 100:>5.1f}%)" for p in POLICIES
+        )
+        print(f"{count:>7} | {cells}")
+    print("(cells: mean detours and delivery rate)")
+
+
+def main() -> None:
+    run_sweep(2, 16, (4, 8, 16, 24))
+    run_sweep(3, 10, (4, 8, 16))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Analysis utilities: detour bounds, convergence measurement, metrics.
+
+* :mod:`repro.analysis.detour_bounds` — the analytical bounds of
+  Theorems 3, 4 and 5 as functions of the dynamic-fault parameters;
+* :mod:`repro.analysis.convergence` — measuring ``a_i`` / ``b_i`` / ``c_i``
+  for given block sizes and dimensions, plus the closed-form expectations;
+* :mod:`repro.analysis.metrics` — routing-quality metrics, policy
+  comparison tables and the memory-footprint accounting.
+"""
+
+from repro.analysis.convergence import (
+    ConvergenceMeasurement,
+    expected_boundary_rounds,
+    expected_identification_rounds,
+    expected_labeling_rounds,
+    measure_convergence,
+)
+from repro.analysis.detour_bounds import (
+    DetourBoundParameters,
+    theorem3_distance_bounds,
+    theorem4_interval_bound,
+    theorem4_max_detours,
+    theorem5_interval_bound,
+)
+from repro.analysis.metrics import (
+    PolicyComparison,
+    compare_policies,
+    global_table_cells,
+    limited_global_cells,
+    summarize_routes,
+)
+
+__all__ = [
+    "ConvergenceMeasurement",
+    "DetourBoundParameters",
+    "PolicyComparison",
+    "compare_policies",
+    "expected_boundary_rounds",
+    "expected_identification_rounds",
+    "expected_labeling_rounds",
+    "global_table_cells",
+    "limited_global_cells",
+    "measure_convergence",
+    "summarize_routes",
+    "theorem3_distance_bounds",
+    "theorem4_interval_bound",
+    "theorem4_max_detours",
+    "theorem5_interval_bound",
+]

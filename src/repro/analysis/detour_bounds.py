@@ -1,0 +1,144 @@
+"""Analytical detour bounds (Theorems 3, 4 and 5).
+
+The paper bounds the progress of a routing message under dynamic faults in
+terms of:
+
+* ``D``      — distance from the source to the destination at start time,
+* ``t``      — the routing start time and ``t_p`` the time of the last fault
+  before the start (``p`` faults already present),
+* ``d_i``    — the interval between fault occurrences ``i`` and ``i+1``,
+* ``a_i``    — rounds for the block construction of fault ``i`` to converge,
+* ``e_max``  — the maximum block edge length,
+* ``L``      — for unsafe sources, the length of some existing path.
+
+Theorem 3 bounds the remaining distance ``D(i)`` at each fault occurrence;
+Theorem 4 bounds the number of intervals ``k`` a routing from a *safe*
+source needs and the total number of detours ``k * (e_max + a_max)``;
+Theorem 5 generalizes the interval bound to any source with an existing
+path of length ``L``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class DetourBoundParameters:
+    """Inputs shared by the three theorems."""
+
+    #: Distance from source to destination at the routing start time
+    #: (Theorem 5 uses the existing-path length ``L`` instead).
+    distance: int
+
+    #: Routing start time ``t``.
+    start_time: int
+
+    #: Occurrence time ``t_p`` of the last fault before the routing started.
+    last_fault_time: int
+
+    #: Intervals ``d_p, d_{p+1}, ...`` between successive fault occurrences
+    #: starting with the one in progress when the routing starts.
+    intervals: Sequence[int]
+
+    #: Convergence rounds ``a_p, a_{p+1}, ...`` of the corresponding block
+    #: constructions (same indexing as ``intervals``).
+    labeling_rounds: Sequence[int]
+
+    #: Maximum block edge length ``e_max``.
+    e_max: int
+
+    def __post_init__(self) -> None:
+        if self.distance < 0:
+            raise ValueError("distance must be non-negative")
+        if self.e_max < 0:
+            raise ValueError("e_max must be non-negative")
+        if len(self.labeling_rounds) < len(self.intervals):
+            raise ValueError(
+                "need a labeling-round figure for every interval "
+                f"({len(self.labeling_rounds)} < {len(self.intervals)})"
+            )
+        if self.last_fault_time > self.start_time:
+            raise ValueError("t_p must not exceed the routing start time t")
+
+    @property
+    def a_max(self) -> int:
+        """``a_max = max_i a_i`` (0 when no dynamic fault occurs)."""
+        return max(self.labeling_rounds, default=0)
+
+
+def _per_interval_progress(params: DetourBoundParameters, index: int) -> int:
+    """Guaranteed progress ``d_i - 2 a_i - 2 e_max`` during interval ``index``."""
+    return (
+        params.intervals[index]
+        - 2 * params.labeling_rounds[index]
+        - 2 * params.e_max
+    )
+
+
+def theorem3_distance_bounds(params: DetourBoundParameters) -> List[int]:
+    """Upper bounds on the remaining distance ``D(i)`` (Theorem 3).
+
+    Entry ``j`` of the returned list bounds the distance to the destination
+    when the ``(p + j + 1)``-th fault occurs (i.e. after ``j + 1`` complete
+    intervals of the routing): the first interval is shortened by the
+    routing's start offset ``t - t_p``, later intervals contribute their full
+    guaranteed progress.  Bounds are clamped at zero from below only in the
+    sense that a negative bound means the routing must already have finished.
+    """
+    bounds: List[int] = []
+    remaining = params.distance
+    for j in range(len(params.intervals)):
+        progress = _per_interval_progress(params, j)
+        if j == 0:
+            progress -= params.start_time - params.last_fault_time
+        remaining = remaining - progress
+        bounds.append(remaining)
+    return bounds
+
+
+def theorem4_interval_bound(params: DetourBoundParameters) -> int:
+    """Theorem 4: number of intervals within which a safe-source routing ends.
+
+    ``k <= max{l | D + t - t_p - sum_{i=p}^{p+l-2}(d_i - 2 a_i - 2 e_max) > 0}``.
+    The sum is empty for ``l = 1``, so the bound is always at least 1 when
+    ``D + t - t_p > 0``.
+    """
+    budget = params.distance + params.start_time - params.last_fault_time
+    if budget <= 0:
+        return 0
+    k = 1
+    consumed = 0
+    for j in range(len(params.intervals)):
+        consumed += _per_interval_progress(params, j)
+        if budget - consumed > 0:
+            k = j + 2
+        else:
+            break
+    return k
+
+
+def theorem4_max_detours(params: DetourBoundParameters) -> int:
+    """Theorem 4: the maximum number of detours ``k * (e_max + a_max)``."""
+    return theorem4_interval_bound(params) * (params.e_max + params.a_max)
+
+
+def theorem5_interval_bound(
+    params: DetourBoundParameters, path_length: Optional[int] = None
+) -> int:
+    """Theorem 5: interval bound for any source with an existing path.
+
+    Identical to Theorem 4 with the source-destination distance replaced by
+    the length ``L`` of an existing path from the (possibly unsafe) source.
+    """
+    length = params.distance if path_length is None else path_length
+    adjusted = DetourBoundParameters(
+        distance=length,
+        start_time=params.start_time,
+        last_fault_time=params.last_fault_time,
+        intervals=params.intervals,
+        labeling_rounds=params.labeling_rounds,
+        e_max=params.e_max,
+    )
+    return theorem4_interval_bound(adjusted)

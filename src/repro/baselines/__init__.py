@@ -1,0 +1,29 @@
+"""Comparison routing algorithms.
+
+The paper argues for limited-global information by contrast with two
+extremes and one predecessor:
+
+* **no information** — backtracking PCS with only adjacent-fault detection
+  (:mod:`repro.baselines.no_info`): probes discover blocks by running into
+  them, so they detour and backtrack far more;
+* **global information** — every node knows every fault and a shortest path
+  around the faults is always taken (:mod:`repro.baselines.global_info`):
+  the unreachable ideal whose memory/update costs the paper's model avoids;
+* **static faulty-block routing** (Wu, ICPP 2000 [14]) — block information
+  is available only at the nodes adjacent to a block, not along boundaries
+  (:mod:`repro.baselines.static_block`): the direct predecessor of the
+  limited-global model, which warns probes too late to avoid dangerous
+  areas.
+"""
+
+from repro.baselines.global_info import GlobalInformationRouter, route_global_information
+from repro.baselines.no_info import route_no_information
+from repro.baselines.static_block import adjacent_only_information, route_static_block
+
+__all__ = [
+    "GlobalInformationRouter",
+    "adjacent_only_information",
+    "route_global_information",
+    "route_no_information",
+    "route_static_block",
+]

@@ -1,0 +1,36 @@
+"""Information-free backtracking PCS routing.
+
+The probe uses only what PCS hardware always has: detection of faults on
+adjacent links/nodes and the used-direction lists in its own header.  It is
+Algorithm 3 run with an empty information model — the same code path as the
+limited-global router, with block and boundary knowledge switched off — so
+any difference in detours is attributable purely to the information model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.routing import (
+    InformationProvider,
+    RouteResult,
+    RoutingPolicy,
+    route_offline,
+)
+
+
+def route_no_information(
+    info: InformationProvider,
+    source: Sequence[int],
+    destination: Sequence[int],
+    *,
+    max_steps: Optional[int] = None,
+) -> RouteResult:
+    """Route with adjacent-fault detection only (no block/boundary records)."""
+    return route_offline(
+        info,
+        source,
+        destination,
+        policy=RoutingPolicy.no_information(),
+        max_steps=max_steps,
+    )

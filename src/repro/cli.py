@@ -1,0 +1,207 @@
+"""Command-line interface for the reproduction library.
+
+Four subcommands cover the workflows the experiments use:
+
+* ``repro-mesh route``       — route one source/destination pair against a
+  static fault set, under any policy;
+* ``repro-mesh simulate``    — run the step-synchronous simulator with a
+  randomized dynamic-fault scenario and print the summary;
+* ``repro-mesh compare``     — the policy-comparison table for a randomized
+  static configuration;
+* ``repro-mesh convergence`` — measure a/b/c for a parametric block.
+
+The CLI is intentionally a thin veneer over the public API so that every
+number it prints can also be obtained programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.convergence import measure_convergence
+from repro.analysis.metrics import compare_policies
+from repro.baselines.global_info import route_global_information
+from repro.core.block_construction import build_blocks
+from repro.core.distribution import distribute_information
+from repro.core.routing import RoutingPolicy, route_offline
+from repro.core.state import InformationState
+from repro.faults.injection import uniform_random_faults
+from repro.mesh.topology import Mesh
+from repro.simulator.engine import SimulationConfig, Simulator
+from repro.workloads.scenarios import parametric_block_scenario, random_dynamic_scenario
+from repro.workloads.traffic import random_pairs
+
+Coord = Tuple[int, ...]
+
+
+def _parse_coord(text: str, n_dims: int) -> Coord:
+    parts = [p for p in text.replace("(", "").replace(")", "").split(",") if p.strip()]
+    if len(parts) != n_dims:
+        raise argparse.ArgumentTypeError(
+            f"expected {n_dims} comma-separated coordinates, got {text!r}"
+        )
+    return tuple(int(p) for p in parts)
+
+
+def _parse_faults(texts: Sequence[str], n_dims: int) -> List[Coord]:
+    return [_parse_coord(t, n_dims) for t in texts]
+
+
+def _add_mesh_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--radix", type=int, default=10, help="nodes per dimension (k)")
+    parser.add_argument("--dims", type=int, default=3, help="mesh dimensionality (n)")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mesh",
+        description="Limited-global fault information model for n-D meshes (IPDPS 2004 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    route = sub.add_parser("route", help="route one message against a static fault set")
+    _add_mesh_arguments(route)
+    route.add_argument("--source", required=True, help="source address, e.g. 0,0,0")
+    route.add_argument("--destination", required=True, help="destination address")
+    route.add_argument("--fault", action="append", default=[], help="faulty node (repeatable)")
+    route.add_argument("--random-faults", type=int, default=0, help="additional random faults")
+    route.add_argument(
+        "--policy",
+        choices=("limited-global", "no-information", "global-information"),
+        default="limited-global",
+    )
+
+    simulate = sub.add_parser("simulate", help="run a randomized dynamic-fault simulation")
+    _add_mesh_arguments(simulate)
+    simulate.add_argument("--faults", type=int, default=6, help="dynamic fault count")
+    simulate.add_argument("--interval", type=int, default=15, help="steps between faults (d_i)")
+    simulate.add_argument("--messages", type=int, default=12, help="routing messages")
+    simulate.add_argument("--lam", type=int, default=2, help="information rounds per step (λ)")
+
+    compare = sub.add_parser("compare", help="compare routing policies on random faults")
+    _add_mesh_arguments(compare)
+    compare.add_argument("--faults", type=int, default=8)
+    compare.add_argument("--messages", type=int, default=20)
+
+    convergence = sub.add_parser("convergence", help="measure a/b/c for a parametric block")
+    _add_mesh_arguments(convergence)
+    convergence.add_argument("--edge", type=int, default=3, help="block edge length")
+
+    return parser
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    mesh = Mesh.cube(args.radix, args.dims)
+    rng = np.random.default_rng(args.seed)
+    source = _parse_coord(args.source, args.dims)
+    destination = _parse_coord(args.destination, args.dims)
+    faults = _parse_faults(args.fault, args.dims)
+    if args.random_faults:
+        faults += uniform_random_faults(
+            mesh, args.random_faults, rng, exclude=[source, destination, *faults]
+        )
+    result = build_blocks(mesh, faults)
+
+    if args.policy == "global-information":
+        route = route_global_information(mesh, result.state, source, destination)
+    elif args.policy == "no-information":
+        bare = InformationState(mesh=mesh, labeling=result.state)
+        route = route_offline(
+            bare, source, destination, policy=RoutingPolicy.no_information()
+        )
+    else:
+        info = distribute_information(mesh, result.state)
+        route = route_offline(info, source, destination)
+
+    print(f"mesh {mesh}, {len(faults)} faults, {len(result.blocks)} blocks")
+    print(f"policy          : {args.policy}")
+    print(f"outcome         : {route.outcome.value}")
+    print(f"hops / minimal  : {route.hops} / {route.min_distance}")
+    print(f"detours         : {route.detours}")
+    print(f"backtracks      : {route.backtrack_hops}")
+    return 0 if route.delivered else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    scenario = random_dynamic_scenario(
+        radix=args.radix,
+        n_dims=args.dims,
+        dynamic_faults=args.faults,
+        interval=args.interval,
+        messages=args.messages,
+        seed=args.seed,
+    )
+    sim = Simulator(
+        scenario.mesh,
+        schedule=scenario.schedule,
+        traffic=list(scenario.traffic),
+        config=SimulationConfig(lam=args.lam),
+    )
+    stats = sim.run().stats
+    print(f"scenario        : {scenario.name}")
+    for key, value in stats.summary().items():
+        print(f"{key:<24}: {value:.3f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    mesh = Mesh.cube(args.radix, args.dims)
+    faults = uniform_random_faults(mesh, args.faults, rng)
+    labeling = build_blocks(mesh, faults).state
+    pairs = random_pairs(
+        mesh,
+        args.messages,
+        rng,
+        min_distance=max(2, mesh.diameter // 2),
+        exclude=list(labeling.block_nodes),
+    )
+    comparison = compare_policies(mesh, labeling, pairs)
+    print(f"mesh {mesh}, {args.faults} faults, {args.messages} messages")
+    print(f"{'policy':<20} {'delivery':>9} {'mean hops':>10} {'mean detours':>13}")
+    for name, summary in comparison.summaries.items():
+        print(
+            f"{name:<20} {summary.delivery_rate:>9.2f} {summary.mean_hops:>10.2f} "
+            f"{summary.mean_detours:>13.2f}"
+        )
+    return 0
+
+
+def _cmd_convergence(args: argparse.Namespace) -> int:
+    scenario = parametric_block_scenario(args.radix, args.dims, edge=args.edge)
+    extent = scenario.expected_extents[0]
+    measurement = measure_convergence(scenario.mesh, list(extent.iter_points()))
+    print(f"mesh {scenario.mesh}, block edge {args.edge} ({extent.lo}..{extent.hi})")
+    print(f"labeling rounds (a)       : {measurement.labeling_rounds}")
+    print(f"identification rounds (b) : {measurement.identification_rounds}")
+    print(f"boundary rounds (c)       : {measurement.boundary_rounds}")
+    print(f"total / steps at λ=2      : {measurement.total_rounds} / {measurement.steps(2)}")
+    return 0
+
+
+_COMMANDS = {
+    "route": _cmd_route,
+    "simulate": _cmd_simulate,
+    "compare": _cmd_compare,
+    "convergence": _cmd_convergence,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-mesh`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except argparse.ArgumentTypeError as exc:
+        parser.error(str(exc))
+        return 2  # pragma: no cover - parser.error raises SystemExit
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,328 @@
+"""Boundary construction: distributing block information along boundaries.
+
+For every identified block and every pair of opposite adjacent surfaces
+``(S_i, S_{i+n})`` the paper builds a *boundary* enclosing the dangerous
+area below ``S_i``: the prism from which all minimal paths to destinations
+beyond ``S_{i+n}`` are cut by the block.  The boundary starts from the edge
+nodes of ``S_i`` (excluding the corners) and propagates away from the block,
+one hop per round, until it reaches the outmost surface of the mesh; when it
+runs into another block it merges into that block's boundary for the same
+surface and continues beyond it (Figure 3).
+
+Two implementations are provided:
+
+* :func:`compute_boundaries` — the converged ("oracle") result: which nodes
+  end up holding which :class:`~repro.core.state.BoundaryInfo` records;
+* :class:`BoundaryProtocol` — the round-driven distributed propagation used
+  by the simulator, whose round count is the paper's ``c_i``.
+
+Merging note (documented simplification): when a propagation column hits a
+second block, the paper routes the information along the second block's
+other adjacent surfaces before it resumes travelling away from the original
+block.  Here the merge re-seeds the propagation at the second block's
+corresponding boundary-start nodes carrying the original block's
+information; the set of informed nodes is the same, the hand-off is counted
+as a single round instead of the lateral walk around the second block, which
+slightly under-counts ``c_i`` in multi-block configurations (never by more
+than the second block's half-perimeter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.faulty_block import FaultyBlock, dangerous_prism_of_extent
+from repro.core.state import BoundaryInfo, InformationState
+from repro.mesh.directions import Direction
+from repro.mesh.regions import Region
+from repro.mesh.topology import Mesh
+
+Coord = Tuple[int, ...]
+
+
+# ---------------------------------------------------------------------- #
+# prism geometry (module-level mirrors of the FaultyBlock methods, usable
+# with a bare extent — routing works from extents carried in records)
+# ---------------------------------------------------------------------- #
+def dangerous_prism(
+    extent: Region, mesh: Mesh, dim: int, side: int
+) -> Optional[Region]:
+    """The dangerous area of ``extent`` on ``side`` of dimension ``dim``.
+
+    See :meth:`repro.core.faulty_block.FaultyBlock.dangerous_prism`.
+    """
+    return dangerous_prism_of_extent(extent, mesh, dim, side)
+
+
+def opposite_prism(
+    extent: Region, mesh: Mesh, dim: int, side: int
+) -> Optional[Region]:
+    """The prism on the other side of ``extent`` from :func:`dangerous_prism`."""
+    return dangerous_prism_of_extent(extent, mesh, dim, -side)
+
+
+def boundary_start_nodes(
+    block: FaultyBlock, mesh: Mesh, dim: int, dangerous_side: int
+) -> List[Coord]:
+    """Edge nodes of the adjacent surface from which the boundary starts.
+
+    These are the nodes of the adjacent surface on ``dangerous_side`` of
+    ``dim`` that sit one hop outside the block's span in exactly one *other*
+    dimension (the surface's edges, corners excluded), exactly as in
+    Figure 3(a).
+    """
+    if dangerous_side not in (-1, +1):
+        raise ValueError("dangerous_side must be ±1")
+    extent = block.extent
+    level = extent.lo[dim] - 1 if dangerous_side < 0 else extent.hi[dim] + 1
+    if level < 0 or level >= mesh.shape[dim]:
+        return []
+    out: List[Coord] = []
+    n = extent.n_dims
+    for other in range(n):
+        if other == dim:
+            continue
+        for other_side, other_coord in ((-1, extent.lo[other] - 1), (+1, extent.hi[other] + 1)):
+            if other_coord < 0 or other_coord >= mesh.shape[other]:
+                continue
+            # Remaining dimensions stay within the block span.
+            spans = []
+            for d in range(n):
+                if d == dim:
+                    spans.append((level, level))
+                elif d == other:
+                    spans.append((other_coord, other_coord))
+                else:
+                    spans.append(extent.span(d))
+            region = Region(
+                tuple(s[0] for s in spans), tuple(s[1] for s in spans)
+            )
+            clipped = mesh.clip_region(region)
+            if clipped is None:
+                continue
+            out.extend(clipped.iter_points())
+    return sorted(set(out))
+
+
+# ---------------------------------------------------------------------- #
+# converged (oracle) boundary computation
+# ---------------------------------------------------------------------- #
+def compute_boundaries(
+    mesh: Mesh,
+    blocks: Sequence[FaultyBlock],
+    *,
+    version: int = 0,
+) -> Dict[Coord, Set[BoundaryInfo]]:
+    """Converged boundary information for a set of stabilized blocks.
+
+    Returns, for every node that ends up on some boundary, the set of
+    :class:`BoundaryInfo` records it holds once every propagation has
+    terminated.
+    """
+    protocol = BoundaryProtocol.for_blocks(
+        InformationState(mesh=mesh, labeling=_labeling_from_blocks(mesh, blocks)),
+        blocks,
+        version=version,
+    )
+    protocol.run()
+    return protocol.informed
+
+
+def _labeling_from_blocks(mesh: Mesh, blocks: Sequence[FaultyBlock]):
+    """A labeling state whose block membership matches ``blocks`` exactly."""
+    from repro.core.block_construction import LabelingState
+    from repro.faults.status import NodeStatus
+
+    state = LabelingState(mesh=mesh)
+    for block in blocks:
+        for node in block.nodes:
+            status = (
+                NodeStatus.FAULTY if node in block.faulty_nodes else NodeStatus.DISABLED
+            )
+            state.set_status(node, status)
+    return state
+
+
+# ---------------------------------------------------------------------- #
+# round-driven distributed propagation
+# ---------------------------------------------------------------------- #
+@dataclass
+class _Token:
+    """One boundary-propagation walker (a column of Figure 3)."""
+
+    position: Coord
+    direction: Direction
+    info: BoundaryInfo
+
+
+class BoundaryProtocol:
+    """Distributed boundary construction, one hop per round.
+
+    The protocol is seeded from the boundary-start nodes of one or more
+    blocks (normally right after the identification back-propagation
+    delivered the block record to the block's edge nodes).  Each round every
+    active walker deposits its information and advances one hop away from
+    the block; walkers stop at the outmost surface of the mesh and merge
+    into other blocks' boundaries when they hit them.
+    """
+
+    def __init__(self, state: InformationState) -> None:
+        self.state = state
+        self.mesh = state.mesh
+        self._tokens: List[_Token] = []
+        self._rounds = 0
+        self._deposited: Dict[Coord, Set[BoundaryInfo]] = {}
+        #: (block extent, dim, side) combinations already merged into, used to
+        #: avoid re-seeding the same boundary twice.
+        self._merged: Set[Tuple[Region, Region, int, int]] = set()
+
+    # ------------------------------------------------------------------ #
+    # seeding
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_blocks(
+        cls,
+        state: InformationState,
+        blocks: Sequence[FaultyBlock],
+        *,
+        version: int = 0,
+    ) -> "BoundaryProtocol":
+        """A protocol seeded with every boundary of every block in ``blocks``."""
+        protocol = cls(state)
+        for block in blocks:
+            protocol.seed_block(block, version=version)
+        return protocol
+
+    def seed_block(self, block: FaultyBlock, *, version: int = 0) -> None:
+        """Seed the propagation for every (dimension, side) boundary of ``block``."""
+        for dim in range(block.n_dims):
+            for side in (-1, +1):
+                self.seed_boundary(block, dim, side, version=version)
+
+    def seed_boundary(
+        self, block: FaultyBlock, dim: int, dangerous_side: int, *, version: int = 0
+    ) -> None:
+        """Seed the propagation of one boundary of ``block``.
+
+        The boundary for destinations beyond the block on side
+        ``-dangerous_side`` encloses the dangerous prism on ``dangerous_side``;
+        its walkers move away from the block (in direction
+        ``(dim, dangerous_side)``).
+        """
+        info = BoundaryInfo(
+            extent=block.extent, dim=dim, dangerous_side=dangerous_side, version=version
+        )
+        direction = Direction(dim, dangerous_side)
+        for start in boundary_start_nodes(block, self.mesh, dim, dangerous_side):
+            self._spawn(start, direction, info)
+
+    def _spawn(self, position: Coord, direction: Direction, info: BoundaryInfo) -> None:
+        if not self.mesh.contains(position):
+            return
+        self._tokens.append(_Token(position=position, direction=direction, info=info))
+
+    # ------------------------------------------------------------------ #
+    # protocol surface
+    # ------------------------------------------------------------------ #
+    @property
+    def rounds(self) -> int:
+        """Rounds executed so far (``c_i`` once :meth:`done`)."""
+        return self._rounds
+
+    @property
+    def done(self) -> bool:
+        """True when no walker is active any more."""
+        return not self._tokens
+
+    @property
+    def informed(self) -> Dict[Coord, Set[BoundaryInfo]]:
+        """Nodes informed so far and the records they hold."""
+        return {node: set(infos) for node, infos in self._deposited.items()}
+
+    def round(self) -> bool:
+        """Advance every walker by one hop; returns True while active."""
+        if not self._tokens:
+            return False
+        self._rounds += 1
+        next_tokens: List[_Token] = []
+        for token in self._tokens:
+            node = token.position
+            if not self.mesh.contains(node):
+                continue
+            status = self.state.labeling.status(node)
+            if status.in_block:
+                # Ran into another block: merge into its boundary for the
+                # same surface (Figure 3(d)).
+                self._merge_into_block(node, token)
+                continue
+            if self._deposit(node, token.info):
+                pass
+            nxt = self.mesh.neighbor(node, token.direction)
+            if nxt is None:
+                continue  # reached the outmost surface of the mesh
+            if self.state.labeling.status(nxt).in_block:
+                self._merge_into_block(nxt, token)
+                continue
+            next_tokens.append(_Token(nxt, token.direction, token.info))
+        self._tokens = next_tokens
+        return bool(self._tokens)
+
+    def run(self, max_rounds: Optional[int] = None) -> int:
+        """Run rounds to completion; returns the total number of rounds."""
+        limit = max_rounds if max_rounds is not None else 4 * (self.mesh.diameter + 1)
+        for _ in range(limit):
+            if not self.round():
+                break
+        return self._rounds
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _deposit(self, node: Coord, info: BoundaryInfo) -> bool:
+        new_here = info not in self._deposited.setdefault(node, set())
+        if new_here:
+            self._deposited[node].add(info)
+            self.state.add_boundary(node, info)
+        return new_here
+
+    def _member_block_extent(self, node: Coord) -> Optional[Region]:
+        """Extent of the stabilized block containing ``node`` (if any)."""
+        from repro.core.block_construction import extract_blocks
+
+        for block in extract_blocks(self.state.labeling):
+            if block.contains(node):
+                return block.extent
+        return None
+
+    def _merge_into_block(self, blocked_node: Coord, token: _Token) -> None:
+        extent = self._member_block_extent(blocked_node)
+        if extent is None:
+            return
+        key = (token.info.extent, extent, token.info.dim, token.info.dangerous_side)
+        if key in self._merged:
+            return
+        self._merged.add(key)
+        second = FaultyBlock(extent)
+        # The original block's information joins the second block's boundary
+        # for the same surface: re-seed walkers at the second block's
+        # boundary-start nodes, carrying the original info, and also deposit
+        # the info on the second block's adjacent surface facing the incoming
+        # propagation so routing at those nodes sees both blocks.
+        # A walker moving in +dim enters the second block through its low
+        # face (surface index dim); one moving in -dim enters through its
+        # high face (surface index dim + n).
+        facing = second.adjacent_surface(
+            token.direction.dim
+            if token.direction.sign > 0
+            else token.direction.dim + second.n_dims
+        )
+        facing_clipped = self.mesh.clip_region(facing)
+        if facing_clipped is not None:
+            for node in facing_clipped.iter_points():
+                if not self.state.labeling.status(node).in_block:
+                    self._deposit(node, token.info)
+        for start in boundary_start_nodes(
+            second, self.mesh, token.info.dim, token.info.dangerous_side
+        ):
+            self._spawn(start, token.direction, token.info)

@@ -1,0 +1,439 @@
+"""Fault-information-based PCS routing (Algorithm 3).
+
+The routing process is the *path-setup* phase of pipelined circuit
+switching: a probe carries a header containing the destination address and,
+for every forwarding node along the path, the list of outgoing directions
+already tried there.  At each step the current node either forwards the
+probe along the unused outgoing direction with the highest priority or
+backtracks; a probe backtracked all the way to the source with no unused
+direction reports the destination unreachable.
+
+Direction priority (Algorithm 3): *preferred* directions first, then *spare*
+directions along a block (used to walk around a block), then *preferred but
+detour* directions (preferred directions that the node's boundary/block
+information says would lead into a dangerous area), and the *incoming*
+direction last.  A preferred direction is demoted to preferred-but-detour at
+a node exactly when the node holds information about a block such that the
+next hop would enter the block's dangerous prism while the destination lies
+in the opposite prism — the *critical routing* situation of Section 2.2.
+
+Two extra, deliberately conservative refinements keep the implementation
+faithful while fully specified (the paper leaves them implicit):
+
+* spare directions *not* adjacent to any known block are ranked below
+  preferred-but-detour directions (they move away from the destination with
+  no block to skirt);
+* a neighbor known to be *faulty* (adjacent-fault detection) is never
+  selected, and a neighbor known to be *disabled* is only selected when no
+  better class remains (stepping onto a disabled node forces an immediate
+  backtrack by rule 1 of Algorithm 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, IntEnum
+from typing import Dict, FrozenSet, Iterable, List, Optional, Protocol, Sequence, Set, Tuple
+
+from repro.core.faulty_block import dangerous_prism_of_extent
+from repro.core.state import BlockRecord, BoundaryInfo, InformationState
+from repro.faults.status import NodeStatus
+from repro.mesh.directions import Direction
+from repro.mesh.regions import Region
+from repro.mesh.topology import Mesh
+
+Coord = Tuple[int, ...]
+
+
+class DirectionClass(IntEnum):
+    """Priority classes of outgoing directions (lower value = higher priority)."""
+
+    PREFERRED = 0
+    SPARE_ALONG_BLOCK = 1
+    PREFERRED_DETOUR = 2
+    SPARE = 3
+    DISABLED_NEIGHBOR = 4
+    INCOMING = 5
+
+
+class RouteOutcome(Enum):
+    """Terminal states of a routing probe."""
+
+    DELIVERED = "delivered"
+    UNREACHABLE = "unreachable"
+    EXHAUSTED = "exhausted"
+
+
+@dataclass(frozen=True)
+class RoutingPolicy:
+    """How much fault information the routing decision is allowed to use."""
+
+    name: str
+    use_block_info: bool = True
+    use_boundary_info: bool = True
+    avoid_known_disabled: bool = True
+
+    @classmethod
+    def limited_global(cls) -> "RoutingPolicy":
+        """The paper's model: block + boundary information where distributed."""
+        return cls(name="limited-global")
+
+    @classmethod
+    def no_information(cls) -> "RoutingPolicy":
+        """Backtracking PCS with adjacent-fault detection only."""
+        return cls(
+            name="no-information",
+            use_block_info=False,
+            use_boundary_info=False,
+            avoid_known_disabled=False,
+        )
+
+
+class InformationProvider(Protocol):
+    """What the routing decision needs to know at a node.
+
+    :class:`repro.core.state.InformationState` satisfies this protocol; the
+    simulator provides a time-varying implementation.
+    """
+
+    mesh: Mesh
+
+    def status(self, node: Sequence[int]) -> NodeStatus: ...
+
+    def blocks_known_at(self, node: Sequence[int]) -> FrozenSet[BlockRecord]: ...
+
+    def boundaries_at(self, node: Sequence[int]) -> FrozenSet[BoundaryInfo]: ...
+
+
+# ---------------------------------------------------------------------- #
+# probe header
+# ---------------------------------------------------------------------- #
+@dataclass
+class ProbeHeader:
+    """The PCS probe header: destination plus per-node used directions.
+
+    The stack records the path currently held by the probe (for
+    backtracking); ``used`` persists across revisits of a node so a
+    forwarding direction at a participant node is never used twice.
+    """
+
+    destination: Coord
+    stack: List[Coord] = field(default_factory=list)
+    used: Dict[Coord, Set[Direction]] = field(default_factory=dict)
+
+    @property
+    def current(self) -> Coord:
+        """The node currently holding the probe."""
+        return self.stack[-1]
+
+    @property
+    def source(self) -> Coord:
+        """The node that issued the probe."""
+        return self.stack[0]
+
+    @property
+    def incoming_direction(self) -> Optional[Direction]:
+        """Direction from the previous stack node to the current one."""
+        if len(self.stack) < 2:
+            return None
+        from repro.mesh.directions import direction_between
+
+        return direction_between(self.stack[-2], self.stack[-1])
+
+    def used_at(self, node: Sequence[int]) -> Set[Direction]:
+        """Directions already used when forwarding from ``node``."""
+        return self.used.setdefault(tuple(node), set())
+
+    def record_use(self, node: Sequence[int], direction: Direction) -> None:
+        """Record that ``direction`` was used at ``node``."""
+        self.used_at(node).add(direction)
+
+    def push(self, node: Sequence[int]) -> None:
+        """Advance the probe onto ``node``."""
+        self.stack.append(tuple(node))
+
+    def pop(self) -> Coord:
+        """Backtrack one hop; returns the node the probe retreats to."""
+        if len(self.stack) < 2:
+            raise RuntimeError("cannot backtrack past the source")
+        self.stack.pop()
+        return self.stack[-1]
+
+    @property
+    def at_source(self) -> bool:
+        """True when the probe currently sits at its source."""
+        return len(self.stack) == 1
+
+
+#: Sentinel decision value meaning "backtrack one hop".
+BACKTRACK = "backtrack"
+
+
+# ---------------------------------------------------------------------- #
+# direction classification
+# ---------------------------------------------------------------------- #
+def _known_extents(
+    info: InformationProvider, node: Coord, policy: RoutingPolicy
+) -> Set[Region]:
+    extents: Set[Region] = set()
+    if policy.use_block_info:
+        extents.update(r.extent for r in info.blocks_known_at(node))
+    if policy.use_boundary_info:
+        extents.update(b.extent for b in info.boundaries_at(node))
+    return extents
+
+
+def _detour_constraints(
+    info: InformationProvider, node: Coord, policy: RoutingPolicy
+) -> List[Tuple[Region, int, int]]:
+    """(extent, dim, dangerous_side) triples the node can check against."""
+    constraints: List[Tuple[Region, int, int]] = []
+    if policy.use_boundary_info:
+        for b in info.boundaries_at(node):
+            constraints.append((b.extent, b.dim, b.dangerous_side))
+    if policy.use_block_info:
+        for r in info.blocks_known_at(node):
+            for dim in range(r.extent.n_dims):
+                for side in (-1, +1):
+                    constraints.append((r.extent, dim, side))
+    return constraints
+
+
+def _is_detour_direction(
+    mesh: Mesh,
+    node: Coord,
+    destination: Coord,
+    direction: Direction,
+    constraints: Iterable[Tuple[Region, int, int]],
+) -> bool:
+    """True iff moving in ``direction`` enters a dangerous area.
+
+    The check is the critical-routing condition: the next hop lies inside
+    the dangerous prism of a known block while the destination lies in the
+    opposite prism, so every minimal path from inside the prism is cut.
+    """
+    nxt = direction.apply(node)
+    for extent, dim, side in constraints:
+        prism = dangerous_prism_of_extent(extent, mesh, dim, side)
+        target = dangerous_prism_of_extent(extent, mesh, dim, -side)
+        if prism is None or target is None:
+            continue
+        if prism.contains(nxt) and target.contains(destination):
+            return True
+    return False
+
+
+def classify_directions(
+    info: InformationProvider,
+    node: Sequence[int],
+    destination: Sequence[int],
+    *,
+    policy: RoutingPolicy,
+    incoming: Optional[Direction] = None,
+    used: Optional[Set[Direction]] = None,
+) -> List[Tuple[DirectionClass, Direction]]:
+    """Classify and order every usable outgoing direction at ``node``.
+
+    The returned list is sorted by increasing :class:`DirectionClass` (i.e.
+    decreasing priority); within a class, preferred directions are ordered by
+    decreasing remaining offset along their dimension, everything else by
+    ``(dim, sign)`` for determinism.
+    """
+    mesh = info.mesh
+    node = tuple(node)
+    destination = tuple(destination)
+    used = used or set()
+    extents = _known_extents(info, node, policy)
+    constraints = _detour_constraints(info, node, policy)
+    preferred = set(mesh.preferred_directions(node, destination))
+
+    entries: List[Tuple[DirectionClass, Tuple[int, int, int], Direction]] = []
+    for direction in mesh.directions:
+        neighbor = mesh.neighbor(node, direction)
+        if neighbor is None or direction in used:
+            continue
+        neighbor_status = info.status(neighbor)
+        if neighbor_status is NodeStatus.FAULTY:
+            continue  # adjacent-fault detection: never forward into a fault
+        if incoming is not None and direction == incoming.reversed():
+            cls = DirectionClass.INCOMING
+        elif policy.avoid_known_disabled and neighbor_status is NodeStatus.DISABLED:
+            cls = DirectionClass.DISABLED_NEIGHBOR
+        elif direction in preferred:
+            if _is_detour_direction(mesh, node, destination, direction, constraints):
+                cls = DirectionClass.PREFERRED_DETOUR
+            else:
+                cls = DirectionClass.PREFERRED
+        else:
+            along_block = any(
+                extent.expand(1).contains(neighbor) and not extent.contains(neighbor)
+                for extent in extents
+            )
+            cls = DirectionClass.SPARE_ALONG_BLOCK if along_block else DirectionClass.SPARE
+        remaining = abs(destination[direction.dim] - node[direction.dim])
+        order_key = (-remaining if cls is DirectionClass.PREFERRED else 0, direction.dim, direction.sign)
+        entries.append((cls, order_key, direction))
+
+    entries.sort(key=lambda e: (e[0], e[1]))
+    return [(cls, direction) for cls, _, direction in entries]
+
+
+def routing_decision(
+    info: InformationProvider,
+    header: ProbeHeader,
+    *,
+    policy: RoutingPolicy,
+) -> Direction | str:
+    """One application of Algorithm 3 at the probe's current node.
+
+    Returns the chosen outgoing :class:`Direction`, or :data:`BACKTRACK`.
+    """
+    node = header.current
+    status = info.status(node)
+    # Step 1: a probe sitting on a disabled node backtracks.
+    if status is NodeStatus.DISABLED and node != header.source:
+        return BACKTRACK
+    candidates = classify_directions(
+        info,
+        node,
+        header.destination,
+        policy=policy,
+        incoming=header.incoming_direction,
+        used=header.used_at(node),
+    )
+    if not candidates:
+        return BACKTRACK
+    return candidates[0][1]
+
+
+# ---------------------------------------------------------------------- #
+# probe driver
+# ---------------------------------------------------------------------- #
+@dataclass
+class RouteResult:
+    """Outcome and statistics of one routing process."""
+
+    outcome: RouteOutcome
+    path: List[Coord]
+    source: Coord
+    destination: Coord
+    min_distance: int
+    forward_hops: int
+    backtrack_hops: int
+
+    @property
+    def hops(self) -> int:
+        """Total steps taken (forward plus backtrack)."""
+        return self.forward_hops + self.backtrack_hops
+
+    @property
+    def detours(self) -> Optional[int]:
+        """Extra steps over the fault-free minimal distance (delivered only)."""
+        if self.outcome is not RouteOutcome.DELIVERED:
+            return None
+        return self.hops - self.min_distance
+
+    @property
+    def delivered(self) -> bool:
+        """True iff the probe reached its destination."""
+        return self.outcome is RouteOutcome.DELIVERED
+
+
+class RoutingProbe:
+    """A PCS path-setup probe that advances one hop per :meth:`step` call.
+
+    The same object is used by the offline driver (static information) and
+    by the simulator (information that changes between steps).
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        source: Sequence[int],
+        destination: Sequence[int],
+        *,
+        policy: Optional[RoutingPolicy] = None,
+    ) -> None:
+        self.mesh = mesh
+        self.source = mesh.validate(source)
+        self.destination = mesh.validate(destination)
+        self.policy = policy or RoutingPolicy.limited_global()
+        self.header = ProbeHeader(destination=self.destination, stack=[self.source])
+        self.path: List[Coord] = [self.source]
+        self.forward_hops = 0
+        self.backtrack_hops = 0
+        self.outcome: Optional[RouteOutcome] = None
+        if self.source == self.destination:
+            self.outcome = RouteOutcome.DELIVERED
+
+    @property
+    def current(self) -> Coord:
+        """Node currently holding the probe."""
+        return self.header.current
+
+    @property
+    def done(self) -> bool:
+        """True when the probe reached a terminal outcome."""
+        return self.outcome is not None
+
+    def step(self, info: InformationProvider) -> Optional[RouteOutcome]:
+        """Advance the probe by one step (one hop forward or one backtrack)."""
+        if self.done:
+            return self.outcome
+        decision = routing_decision(info, self.header, policy=self.policy)
+        if decision == BACKTRACK:
+            if self.header.at_source:
+                self.outcome = RouteOutcome.UNREACHABLE
+                return self.outcome
+            retreat = self.header.pop()
+            self.backtrack_hops += 1
+            self.path.append(retreat)
+            return None
+        assert isinstance(decision, Direction)
+        node = self.header.current
+        self.header.record_use(node, decision)
+        nxt = self.mesh.neighbor(node, decision)
+        assert nxt is not None
+        self.header.push(nxt)
+        self.forward_hops += 1
+        self.path.append(nxt)
+        if nxt == self.destination:
+            self.outcome = RouteOutcome.DELIVERED
+        return self.outcome
+
+    def result(self) -> RouteResult:
+        """Snapshot of the probe's statistics (terminal or not)."""
+        outcome = self.outcome or RouteOutcome.EXHAUSTED
+        return RouteResult(
+            outcome=outcome,
+            path=list(self.path),
+            source=self.source,
+            destination=self.destination,
+            min_distance=self.mesh.distance(self.source, self.destination),
+            forward_hops=self.forward_hops,
+            backtrack_hops=self.backtrack_hops,
+        )
+
+
+def route_offline(
+    info: InformationProvider,
+    source: Sequence[int],
+    destination: Sequence[int],
+    *,
+    policy: Optional[RoutingPolicy] = None,
+    max_steps: Optional[int] = None,
+) -> RouteResult:
+    """Run Algorithm 3 to completion against a static information snapshot.
+
+    ``max_steps`` defaults to the worst-case walk length — every
+    (node, direction) pair used at most once plus the matching backtracks —
+    so a terminating probe is never cut short; hitting the limit yields an
+    ``EXHAUSTED`` outcome.
+    """
+    mesh = info.mesh
+    probe = RoutingProbe(mesh, source, destination, policy=policy)
+    limit = max_steps if max_steps is not None else 4 * mesh.size * mesh.n_dims + 4
+    for _ in range(limit):
+        if probe.step(info) is not None:
+            break
+    return probe.result()

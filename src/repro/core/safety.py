@@ -1,0 +1,111 @@
+"""Safe-node condition and minimal-path reachability (Theorem 2).
+
+Wu's safe-node theorem (quoted as Theorem 2 in the paper) states that if no
+faulty block intersects the axis-aligned bounding box spanned by the source
+and the destination, then the source is *safe*: a minimal path to the
+destination is guaranteed as long as no new fault occurs during the routing
+process.  The helpers here implement the predicate and a brute-force
+minimal-path existence check used to validate it empirically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence, Set, Tuple
+
+from repro.core.faulty_block import FaultyBlock
+from repro.mesh.regions import Region
+from repro.mesh.topology import Mesh
+
+Coord = Tuple[int, ...]
+
+
+def source_destination_box(source: Sequence[int], destination: Sequence[int]) -> Region:
+    """The axis-aligned bounding box spanned by ``source`` and ``destination``.
+
+    Theorem 2 phrases it per axis (the block intersects the section
+    ``[0 : u_i]`` along each axis); intersecting every per-axis section is
+    exactly intersecting this box.
+    """
+    lo = tuple(min(a, b) for a, b in zip(source, destination))
+    hi = tuple(max(a, b) for a, b in zip(source, destination))
+    return Region(lo, hi)
+
+
+def is_safe_source(
+    source: Sequence[int],
+    destination: Sequence[int],
+    blocks: Iterable[FaultyBlock | Region],
+) -> bool:
+    """Theorem 2: True iff no block intersects the source-destination box."""
+    box = source_destination_box(source, destination)
+    for block in blocks:
+        extent = block.extent if isinstance(block, FaultyBlock) else block
+        if box.intersects(extent):
+            return False
+    return True
+
+
+def minimal_path_exists(
+    mesh: Mesh,
+    blocked_nodes: Set[Coord],
+    source: Sequence[int],
+    destination: Sequence[int],
+) -> bool:
+    """True iff a minimal (Manhattan-length) path avoiding ``blocked_nodes`` exists.
+
+    The search only ever moves along preferred directions, so every explored
+    path has exactly ``D(source, destination)`` hops; it is used by tests and
+    the Theorem-2 experiment to validate :func:`is_safe_source`.
+    """
+    source = mesh.validate(source)
+    destination = mesh.validate(destination)
+    if source in blocked_nodes or destination in blocked_nodes:
+        return False
+    if source == destination:
+        return True
+    seen: Set[Coord] = {source}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for direction in mesh.preferred_directions(node, destination):
+            nxt = mesh.neighbor(node, direction)
+            if nxt is None or nxt in seen or nxt in blocked_nodes:
+                continue
+            if nxt == destination:
+                return True
+            seen.add(nxt)
+            frontier.append(nxt)
+    return False
+
+
+def shortest_path_length(
+    mesh: Mesh,
+    blocked_nodes: Set[Coord],
+    source: Sequence[int],
+    destination: Sequence[int],
+) -> int | None:
+    """Length of the shortest path avoiding ``blocked_nodes`` (BFS), or ``None``.
+
+    Unlike :func:`minimal_path_exists` this allows non-minimal moves; it is
+    the "ideal, full global information" reference that the global-information
+    baseline and the detour metrics compare against.
+    """
+    source = mesh.validate(source)
+    destination = mesh.validate(destination)
+    if source in blocked_nodes or destination in blocked_nodes:
+        return None
+    if source == destination:
+        return 0
+    seen: Set[Coord] = {source}
+    frontier = deque([(source, 0)])
+    while frontier:
+        node, dist = frontier.popleft()
+        for neighbor in mesh.neighbors(node):
+            if neighbor in seen or neighbor in blocked_nodes:
+                continue
+            if neighbor == destination:
+                return dist + 1
+            seen.add(neighbor)
+            frontier.append((neighbor, dist + 1))
+    return None

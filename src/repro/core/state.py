@@ -1,0 +1,194 @@
+"""Per-node fault-information state.
+
+The limited-global model stores three kinds of information, each held only by
+a *limited* set of nodes:
+
+* node *status* (enabled / disabled / clean / faulty) — kept by every node
+  for itself and refreshed from neighbors each round
+  (:class:`repro.core.block_construction.LabelingState`);
+* *block information* (the extent of an identified faulty block) — kept by
+  the block's adjacent nodes, edge nodes and corners after the
+  identification process;
+* *boundary information* — kept by the nodes on the boundaries enclosing
+  each dangerous area, so that a routing message is warned before it enters
+  a detour region.
+
+:class:`InformationState` bundles the three and is the single mutable object
+the distributed protocols (identification, boundary construction) and the
+routing algorithm operate on.  It also supports the memory-footprint
+accounting used by the comparison experiments (information cells held per
+node, versus a global fault table at every node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.block_construction import LabelingState
+from repro.mesh.regions import Region
+from repro.mesh.topology import Mesh
+
+Coord = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class BlockRecord:
+    """Block information as held by a node: the block's extent and a version.
+
+    The version is a monotonically increasing generation number assigned by
+    the identification process; it lets nodes discard out-of-date information
+    when a block is reconstructed after a new fault or a recovery (the
+    paper's cancellation of old boundaries).
+    """
+
+    extent: Region
+    version: int = 0
+
+
+@dataclass(frozen=True)
+class BoundaryInfo:
+    """Boundary information as held by a node on a block's boundary.
+
+    Attributes
+    ----------
+    extent:
+        The extent of the faulty block this boundary belongs to.
+    dim:
+        The axis of the dangerous prism enclosed by this boundary.
+    dangerous_side:
+        ``-1`` or ``+1``: the side of the block (along ``dim``) on which the
+        dangerous prism lies.  A message in the prism whose destination lies
+        beyond the block on the *other* side has no minimal path.
+    version:
+        Generation number matching the originating :class:`BlockRecord`.
+    """
+
+    extent: Region
+    dim: int
+    dangerous_side: int
+    version: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dangerous_side not in (-1, +1):
+            raise ValueError("dangerous_side must be ±1")
+        if not 0 <= self.dim < self.extent.n_dims:
+            raise ValueError(f"dim {self.dim} out of range for extent {self.extent}")
+
+
+@dataclass
+class InformationState:
+    """All fault information held across the mesh at one instant."""
+
+    mesh: Mesh
+    labeling: LabelingState
+    node_blocks: Dict[Coord, Set[BlockRecord]] = field(default_factory=dict)
+    node_boundaries: Dict[Coord, Set[BoundaryInfo]] = field(default_factory=dict)
+    version: int = 0
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def fresh(cls, mesh: Mesh, faults: Iterable[Sequence[int]] = ()) -> "InformationState":
+        """A state with the given faults and no distributed information yet."""
+        return cls(mesh=mesh, labeling=LabelingState.from_faults(mesh, faults))
+
+    # ------------------------------------------------------------------ #
+    # status (routing's adjacent-fault detection reads through this)
+    # ------------------------------------------------------------------ #
+    def status(self, node: Sequence[int]):
+        """Current labeling status of ``node`` (see :class:`NodeStatus`)."""
+        return self.labeling.status(node)
+
+    # ------------------------------------------------------------------ #
+    # block information
+    # ------------------------------------------------------------------ #
+    def add_block_info(self, node: Sequence[int], record: BlockRecord) -> bool:
+        """Store ``record`` at ``node``; returns True if it was new there."""
+        node = self.mesh.validate(node)
+        existing = self.node_blocks.setdefault(node, set())
+        if record in existing:
+            return False
+        existing.add(record)
+        return True
+
+    def blocks_known_at(self, node: Sequence[int]) -> FrozenSet[BlockRecord]:
+        """Block records currently held by ``node``."""
+        return frozenset(self.node_blocks.get(tuple(node), set()))
+
+    def has_block_info(self, node: Sequence[int], extent: Region) -> bool:
+        """True iff ``node`` holds a record for a block with this extent."""
+        return any(r.extent == extent for r in self.node_blocks.get(tuple(node), set()))
+
+    # ------------------------------------------------------------------ #
+    # boundary information
+    # ------------------------------------------------------------------ #
+    def add_boundary(self, node: Sequence[int], info: BoundaryInfo) -> bool:
+        """Store boundary ``info`` at ``node``; returns True if it was new."""
+        node = self.mesh.validate(node)
+        existing = self.node_boundaries.setdefault(node, set())
+        if info in existing:
+            return False
+        existing.add(info)
+        return True
+
+    def boundaries_at(self, node: Sequence[int]) -> FrozenSet[BoundaryInfo]:
+        """Boundary records currently held by ``node``."""
+        return frozenset(self.node_boundaries.get(tuple(node), set()))
+
+    # ------------------------------------------------------------------ #
+    # cancellation / garbage collection
+    # ------------------------------------------------------------------ #
+    def cancel_stale(self, current_extents: Iterable[Region]) -> int:
+        """Remove block/boundary records whose extent no longer exists.
+
+        Models the paper's deletion process that propagates along old
+        boundaries after a block shrinks or disappears.  Returns the number
+        of records removed.
+        """
+        live = set(current_extents)
+        removed = 0
+        for node in list(self.node_blocks):
+            keep = {r for r in self.node_blocks[node] if r.extent in live}
+            removed += len(self.node_blocks[node]) - len(keep)
+            if keep:
+                self.node_blocks[node] = keep
+            else:
+                del self.node_blocks[node]
+        for node in list(self.node_boundaries):
+            keep = {b for b in self.node_boundaries[node] if b.extent in live}
+            removed += len(self.node_boundaries[node]) - len(keep)
+            if keep:
+                self.node_boundaries[node] = keep
+            else:
+                del self.node_boundaries[node]
+        return removed
+
+    def clear_information(self) -> None:
+        """Drop every distributed record (labeling is kept)."""
+        self.node_blocks.clear()
+        self.node_boundaries.clear()
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+    def information_cells(self) -> int:
+        """Total number of block/boundary records stored across the mesh.
+
+        Used by the memory-footprint comparison: the limited-global model
+        stores a handful of records near each block, whereas a global fault
+        table would store (number of blocks) records at *every* node.
+        """
+        return sum(len(v) for v in self.node_blocks.values()) + sum(
+            len(v) for v in self.node_boundaries.values()
+        )
+
+    def nodes_holding_information(self) -> Set[Coord]:
+        """Nodes holding at least one block or boundary record."""
+        return set(self.node_blocks) | set(self.node_boundaries)
+
+    def bump_version(self) -> int:
+        """Advance and return the information generation counter."""
+        self.version += 1
+        return self.version

@@ -1,0 +1,120 @@
+"""Link faults.
+
+The paper's fault model is node-based and notes that "link faults can be
+treated as node faults".  This module provides that treatment: a faulty link
+is mapped onto node faults so that the block model, identification, boundary
+construction and routing all apply unchanged.
+
+Two mappings are offered:
+
+* :func:`endpoints_as_node_faults` — the conservative mapping used in the
+  faulty-block literature: for each faulty link, mark one endpoint faulty
+  (preferring an endpoint that already borders other faults, then the one
+  further from the mesh surface, so the resulting blocks stay interior and
+  small);
+* :class:`LinkFaultSet` — an exact per-link view used by tests and by users
+  who want to know whether a specific link is usable regardless of the node
+  mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.mesh.coords import is_adjacent
+from repro.mesh.topology import Mesh
+
+Coord = Tuple[int, ...]
+Link = Tuple[Coord, Coord]
+
+
+def _canonical(u: Sequence[int], v: Sequence[int]) -> Link:
+    a, b = tuple(u), tuple(v)
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """A single faulty link between two adjacent nodes."""
+
+    u: Coord
+    v: Coord
+
+    def __post_init__(self) -> None:
+        u, v = tuple(self.u), tuple(self.v)
+        if not is_adjacent(u, v):
+            raise ValueError(f"{u} and {v} are not adjacent; not a mesh link")
+        object.__setattr__(self, "u", u)
+        object.__setattr__(self, "v", v)
+
+    @property
+    def canonical(self) -> Link:
+        """Order-independent link identifier."""
+        return _canonical(self.u, self.v)
+
+
+@dataclass(frozen=True)
+class LinkFaultSet:
+    """A collection of faulty links with membership queries."""
+
+    links: FrozenSet[Link]
+
+    @classmethod
+    def of(cls, faults: Iterable[LinkFault | Tuple[Sequence[int], Sequence[int]]]) -> "LinkFaultSet":
+        """Build a set from :class:`LinkFault` objects or raw endpoint pairs."""
+        canon: Set[Link] = set()
+        for fault in faults:
+            if isinstance(fault, LinkFault):
+                canon.add(fault.canonical)
+            else:
+                u, v = fault
+                canon.add(LinkFault(tuple(u), tuple(v)).canonical)
+        return cls(frozenset(canon))
+
+    def is_faulty(self, u: Sequence[int], v: Sequence[int]) -> bool:
+        """True iff the link between ``u`` and ``v`` is faulty."""
+        return _canonical(u, v) in self.links
+
+    def __len__(self) -> int:
+        return len(self.links)
+
+
+def endpoints_as_node_faults(
+    mesh: Mesh,
+    link_faults: Iterable[LinkFault | Tuple[Sequence[int], Sequence[int]]],
+    *,
+    existing_node_faults: Iterable[Sequence[int]] = (),
+) -> List[Coord]:
+    """Map link faults to node faults ("link faults can be treated as node faults").
+
+    For every faulty link exactly one endpoint is marked faulty.  The choice
+    prefers (1) an endpoint that is already faulty (no new fault needed),
+    then (2) an endpoint adjacent to an already-chosen fault (so link faults
+    around the same spot coalesce into one block), then (3) the endpoint
+    farther from the outmost surface (keeping the paper's interior-fault
+    assumption intact whenever possible).
+    """
+    fault_set = LinkFaultSet.of(link_faults)
+    chosen: Set[Coord] = {tuple(f) for f in existing_node_faults}
+    new_faults: List[Coord] = []
+
+    def surface_distance(node: Coord) -> int:
+        return min(
+            min(c, s - 1 - c) for c, s in zip(node, mesh.shape)
+        )
+
+    for u, v in sorted(fault_set.links):
+        if u in chosen or v in chosen:
+            continue
+        u_near_chosen = any(is_adjacent(u, c) for c in chosen)
+        v_near_chosen = any(is_adjacent(v, c) for c in chosen)
+        if u_near_chosen != v_near_chosen:
+            pick = u if u_near_chosen else v
+        elif surface_distance(u) != surface_distance(v):
+            pick = u if surface_distance(u) > surface_distance(v) else v
+        else:
+            pick = u
+        chosen.add(pick)
+        new_faults.append(pick)
+    return new_faults

@@ -1,0 +1,45 @@
+"""Node status values of the extended enabled/disabled labeling scheme.
+
+Definition 1 (Wu) uses three states — *faulty*, *enabled*, *disabled* — to
+form faulty blocks.  Definition 4 of the paper adds a transient *clean*
+state used while a recovered node re-joins the network: a recovered node is
+first labeled clean, its clean status propagates to disabled neighbors that
+no longer need to be disabled, and clean nodes become enabled once all their
+neighbors have observed the clean status.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class NodeStatus(str, Enum):
+    """Status of a mesh node under the extended labeling scheme."""
+
+    #: The node is non-faulty and participates fully in routing.
+    ENABLED = "enabled"
+
+    #: The node is non-faulty but belongs to a faulty block: it has two or
+    #: more disabled/faulty neighbors along different dimensions and routing
+    #: through it risks entering a concave fault region.
+    DISABLED = "disabled"
+
+    #: Transient state of Definition 4: the node (or one of its neighbors)
+    #: recently recovered and the labeling is re-converging.
+    CLEAN = "clean"
+
+    #: The node is faulty and can neither route nor hold information.
+    FAULTY = "faulty"
+
+    @property
+    def is_operational(self) -> bool:
+        """True for statuses that can forward routing probes (non-faulty)."""
+        return self is not NodeStatus.FAULTY
+
+    @property
+    def in_block(self) -> bool:
+        """True for statuses counted as block members (faulty or disabled)."""
+        return self in (NodeStatus.FAULTY, NodeStatus.DISABLED)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

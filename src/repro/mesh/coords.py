@@ -1,0 +1,101 @@
+"""Coordinate arithmetic for n-D mesh addresses.
+
+Node addresses are plain tuples of ``n`` non-negative integers
+``(u_1, ..., u_n)``.  All helpers here are topology-agnostic; bounds checking
+against a particular mesh lives in :class:`repro.mesh.topology.Mesh`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+from repro.mesh.directions import Direction
+
+Coord = Tuple[int, ...]
+
+
+def add(coord: Sequence[int], delta: Sequence[int]) -> Coord:
+    """Component-wise sum of ``coord`` and ``delta``."""
+    if len(coord) != len(delta):
+        raise ValueError(f"coordinate ranks differ: {len(coord)} vs {len(delta)}")
+    return tuple(a + b for a, b in zip(coord, delta))
+
+
+def subtract(u: Sequence[int], v: Sequence[int]) -> Coord:
+    """Component-wise difference ``u - v``."""
+    if len(u) != len(v):
+        raise ValueError(f"coordinate ranks differ: {len(u)} vs {len(v)}")
+    return tuple(a - b for a, b in zip(u, v))
+
+
+def manhattan(u: Sequence[int], v: Sequence[int]) -> int:
+    """Manhattan (mesh) distance ``D(u, v) = sum_i |u_i - v_i|``.
+
+    This is the paper's ``D(u, v)`` and equals the length of every minimal
+    path between ``u`` and ``v`` in a fault-free mesh.
+    """
+    if len(u) != len(v):
+        raise ValueError(f"coordinate ranks differ: {len(u)} vs {len(v)}")
+    return sum(abs(a - b) for a, b in zip(u, v))
+
+
+def is_adjacent(u: Sequence[int], v: Sequence[int]) -> bool:
+    """True iff ``u`` and ``v`` are mesh neighbors (distance exactly 1)."""
+    if len(u) != len(v):
+        return False
+    return manhattan(u, v) == 1
+
+
+def component_delta(u: Sequence[int], v: Sequence[int], dim: int) -> int:
+    """Signed offset from ``u`` to ``v`` along dimension ``dim``."""
+    return v[dim] - u[dim]
+
+
+def offsets_toward(u: Sequence[int], d: Sequence[int]) -> Tuple[int, ...]:
+    """Per-dimension unit offsets pointing from ``u`` towards ``d``.
+
+    Entry ``i`` is ``+1``/``-1`` when moving along dimension ``i`` reduces the
+    distance to ``d`` and ``0`` when ``u_i == d_i``.  The non-zero entries
+    are exactly the *preferred directions* of the paper's terminology.
+    """
+    if len(u) != len(d):
+        raise ValueError(f"coordinate ranks differ: {len(u)} vs {len(d)}")
+    out = []
+    for a, b in zip(u, d):
+        if b > a:
+            out.append(+1)
+        elif b < a:
+            out.append(-1)
+        else:
+            out.append(0)
+    return tuple(out)
+
+
+def preferred_directions(u: Sequence[int], d: Sequence[int]) -> Tuple[Direction, ...]:
+    """Directions that move ``u`` strictly closer to destination ``d``."""
+    dirs = []
+    for dim, offset in enumerate(offsets_toward(u, d)):
+        if offset != 0:
+            dirs.append(Direction(dim, offset))
+    return tuple(dirs)
+
+
+def iter_line(u: Sequence[int], direction: Direction, length: int) -> Iterator[Coord]:
+    """Yield ``length`` successive coordinates starting one hop from ``u``.
+
+    Used by the boundary-propagation oracle to walk straight lines towards
+    the outmost surface of the mesh.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    current = tuple(u)
+    for _ in range(length):
+        current = direction.apply(current)
+        yield current
+
+
+def clamp(coord: Sequence[int], lo: Sequence[int], hi: Sequence[int]) -> Coord:
+    """Clamp ``coord`` component-wise into the inclusive box ``[lo, hi]``."""
+    if not len(coord) == len(lo) == len(hi):
+        raise ValueError("coordinate ranks differ")
+    return tuple(min(max(c, a), b) for c, a, b in zip(coord, lo, hi))

@@ -1,0 +1,230 @@
+"""k-ary n-dimensional mesh topology.
+
+A *k-ary n-D mesh* has ``N = k^n`` nodes; each node ``u`` has an address
+``(u_1, ..., u_n)`` with ``0 <= u_i <= k-1``.  Two nodes are connected iff
+their addresses differ by exactly one in exactly one dimension, so nodes
+along each dimension form a linear array (not a ring — this is a mesh, not a
+torus).  The interior node degree is ``2n`` and the diameter is ``(k-1)n``.
+
+:class:`Mesh` also supports rectangular (per-dimension radix) meshes, which
+the paper's model does not preclude and which the experiments use to keep
+simulation sizes manageable in higher dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.mesh.coords import manhattan, offsets_toward
+from repro.mesh.directions import Direction, all_directions
+from repro.mesh.regions import Region
+
+Coord = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Mesh:
+    """A k-ary n-dimensional mesh.
+
+    Parameters
+    ----------
+    shape:
+        Per-dimension radix ``(k_1, ..., k_n)``.  ``Mesh.cube(k, n)`` builds
+        the uniform k-ary n-D mesh of the paper.
+    """
+
+    shape: Tuple[int, ...]
+    _directions: Tuple[Direction, ...] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        shape = tuple(int(s) for s in self.shape)
+        if len(shape) < 1:
+            raise ValueError("a mesh needs at least one dimension")
+        if any(s < 2 for s in shape):
+            raise ValueError(f"every dimension needs radix >= 2, got {shape}")
+        object.__setattr__(self, "shape", shape)
+        object.__setattr__(self, "_directions", all_directions(len(shape)))
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def cube(cls, radix: int, n_dims: int) -> "Mesh":
+        """The uniform k-ary n-D mesh (``radix`` nodes per dimension)."""
+        return cls(tuple([radix] * n_dims))
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def n_dims(self) -> int:
+        """Number of dimensions ``n``."""
+        return len(self.shape)
+
+    @property
+    def radix(self) -> int:
+        """The radix ``k`` for uniform meshes (max radix otherwise)."""
+        return max(self.shape)
+
+    @property
+    def size(self) -> int:
+        """Total number of nodes ``N``."""
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def diameter(self) -> int:
+        """Network diameter ``sum_i (k_i - 1)`` (``(k-1)n`` for uniform k)."""
+        return sum(s - 1 for s in self.shape)
+
+    @property
+    def directions(self) -> Tuple[Direction, ...]:
+        """All ``2n`` directions, indexed by the paper's surface numbering."""
+        return self._directions
+
+    @property
+    def extent(self) -> Region:
+        """The full mesh as a :class:`Region`."""
+        return Region(tuple([0] * self.n_dims), tuple(s - 1 for s in self.shape))
+
+    # ------------------------------------------------------------------ #
+    # node queries
+    # ------------------------------------------------------------------ #
+    def contains(self, coord: Sequence[int]) -> bool:
+        """True iff ``coord`` is a valid node address of this mesh."""
+        if len(coord) != self.n_dims:
+            return False
+        return all(0 <= c < s for c, s in zip(coord, self.shape))
+
+    def validate(self, coord: Sequence[int]) -> Coord:
+        """Return ``coord`` as a tuple, raising if it is not in the mesh."""
+        pt = tuple(int(c) for c in coord)
+        if not self.contains(pt):
+            raise ValueError(f"{pt} is not a node of mesh {self.shape}")
+        return pt
+
+    def nodes(self) -> Iterator[Coord]:
+        """Iterate over every node address (row-major order)."""
+        return (tuple(p) for p in product(*[range(s) for s in self.shape]))
+
+    def degree(self, coord: Sequence[int]) -> int:
+        """Number of neighbors of ``coord`` (``2n`` for interior nodes)."""
+        return len(self.neighbors(coord))
+
+    def neighbor(self, coord: Sequence[int], direction: Direction) -> Coord | None:
+        """The neighbor of ``coord`` in ``direction``, or ``None`` off-mesh."""
+        moved = direction.apply(coord)
+        return moved if self.contains(moved) else None
+
+    def neighbors(self, coord: Sequence[int]) -> List[Coord]:
+        """All neighbors of ``coord`` inside the mesh."""
+        out: List[Coord] = []
+        for direction in self._directions:
+            moved = direction.apply(coord)
+            if self.contains(moved):
+                out.append(moved)
+        return out
+
+    def neighbor_directions(self, coord: Sequence[int]) -> List[Direction]:
+        """Directions along which ``coord`` has an in-mesh neighbor."""
+        return [
+            d for d in self._directions if self.contains(d.apply(coord))
+        ]
+
+    def distance(self, u: Sequence[int], v: Sequence[int]) -> int:
+        """Manhattan distance ``D(u, v)``."""
+        return manhattan(u, v)
+
+    # ------------------------------------------------------------------ #
+    # routing-related classification
+    # ------------------------------------------------------------------ #
+    def preferred_directions(
+        self, u: Sequence[int], destination: Sequence[int]
+    ) -> List[Direction]:
+        """Directions that move ``u`` strictly closer to ``destination``.
+
+        These are the paper's *preferred directions*; every minimal path uses
+        only preferred directions.
+        """
+        dirs: List[Direction] = []
+        for dim, offset in enumerate(offsets_toward(u, destination)):
+            if offset != 0:
+                dirs.append(Direction(dim, offset))
+        return dirs
+
+    def spare_directions(
+        self, u: Sequence[int], destination: Sequence[int]
+    ) -> List[Direction]:
+        """In-mesh directions that do not move ``u`` closer to ``destination``.
+
+        The paper calls the corresponding neighbors *spare neighbors*.
+        """
+        preferred = set(self.preferred_directions(u, destination))
+        return [
+            d
+            for d in self._directions
+            if d not in preferred and self.contains(d.apply(u))
+        ]
+
+    # ------------------------------------------------------------------ #
+    # mesh-surface queries (the paper's "outmost surface")
+    # ------------------------------------------------------------------ #
+    def on_outmost_surface(self, coord: Sequence[int]) -> bool:
+        """True iff ``coord`` lies on the outmost surface of the mesh.
+
+        The paper assumes no fault occurs on the outmost surface, which (with
+        the block fault model) keeps the enabled part of the mesh connected.
+        """
+        return any(
+            c == 0 or c == s - 1 for c, s in zip(coord, self.shape)
+        )
+
+    def interior_region(self, margin: int = 1) -> Region:
+        """The sub-region at least ``margin`` hops away from every surface."""
+        lo = tuple([margin] * self.n_dims)
+        hi = tuple(s - 1 - margin for s in self.shape)
+        if any(a > b for a, b in zip(lo, hi)):
+            raise ValueError(
+                f"mesh {self.shape} has no interior with margin {margin}"
+            )
+        return Region(lo, hi)
+
+    def clip_region(self, region: Region) -> Region | None:
+        """Intersection of ``region`` with the mesh extent."""
+        return region.intersection(self.extent)
+
+    def distance_to_surface(self, coord: Sequence[int], direction: Direction) -> int:
+        """Hops from ``coord`` to the outmost surface along ``direction``."""
+        coord = self.validate(coord)
+        if direction.sign > 0:
+            return self.shape[direction.dim] - 1 - coord[direction.dim]
+        return coord[direction.dim]
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+    def index_of(self, coord: Sequence[int]) -> int:
+        """Row-major linear index of ``coord`` (useful for array-backed state)."""
+        coord = self.validate(coord)
+        idx = 0
+        for c, s in zip(coord, self.shape):
+            idx = idx * s + c
+        return idx
+
+    def coord_of(self, index: int) -> Coord:
+        """Inverse of :meth:`index_of`."""
+        if not 0 <= index < self.size:
+            raise ValueError(f"index {index} out of range for mesh {self.shape}")
+        coord = []
+        for s in reversed(self.shape):
+            coord.append(index % s)
+            index //= s
+        return tuple(reversed(coord))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dims = "x".join(str(s) for s in self.shape)
+        return f"Mesh({dims})"

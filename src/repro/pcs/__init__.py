@@ -1,0 +1,25 @@
+"""Pipelined circuit switching (PCS) substrate.
+
+PCS separates routing into a *path-setup* phase (a probe explores the
+network, may backtrack, and reserves a circuit hop by hop) and a *data
+transmission* phase over the reserved circuit.  The paper's contribution
+concerns the path-setup phase only — that is Algorithm 3, implemented in
+:mod:`repro.core.routing` — but a complete system also needs the circuit
+bookkeeping, which lives here:
+
+* :mod:`repro.pcs.circuit` — circuit reservations derived from a finished
+  probe, link-occupancy accounting and release;
+* :mod:`repro.pcs.transfer` — the (trivially pipelined) data-phase model
+  used to convert a path length into an end-to-end message latency.
+"""
+
+from repro.pcs.circuit import Circuit, CircuitTable, ReservationError
+from repro.pcs.transfer import TransferModel, transfer_latency
+
+__all__ = [
+    "Circuit",
+    "CircuitTable",
+    "ReservationError",
+    "TransferModel",
+    "transfer_latency",
+]

@@ -1,0 +1,131 @@
+"""Circuit reservations for pipelined circuit switching.
+
+After a routing probe reaches its destination, the nodes on its final stack
+hold a reserved circuit from source to destination.  :class:`Circuit`
+captures that path (with backtracked prefixes already released, exactly as
+PCS releases links when a probe retreats), and :class:`CircuitTable` tracks
+link occupancy so experiments can also measure contention between
+concurrently set-up circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.core.routing import RouteOutcome, RouteResult
+from repro.mesh.coords import is_adjacent
+
+Coord = Tuple[int, ...]
+Link = Tuple[Coord, Coord]
+
+
+class ReservationError(RuntimeError):
+    """Raised when a circuit cannot be reserved (conflict or invalid path)."""
+
+
+def _canonical_link(u: Coord, v: Coord) -> Link:
+    """Undirected link identifier (order-independent)."""
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass(frozen=True)
+class Circuit:
+    """A reserved source-to-destination circuit."""
+
+    path: Tuple[Coord, ...]
+
+    def __post_init__(self) -> None:
+        path = tuple(tuple(p) for p in self.path)
+        if len(path) < 1:
+            raise ValueError("a circuit needs at least one node")
+        for u, v in zip(path, path[1:]):
+            if not is_adjacent(u, v):
+                raise ValueError(f"{u} and {v} are not adjacent; not a valid circuit")
+        if len(set(path)) != len(path):
+            raise ValueError("a reserved circuit cannot visit a node twice")
+        object.__setattr__(self, "path", path)
+
+    @classmethod
+    def from_route(cls, result: RouteResult) -> "Circuit":
+        """The circuit held after a successful path setup.
+
+        The probe's final stack is its path with every backtracked excursion
+        removed; it is reconstructed here by replaying the visited sequence
+        and dropping loops.
+        """
+        if result.outcome is not RouteOutcome.DELIVERED:
+            raise ReservationError(
+                f"cannot reserve a circuit for a {result.outcome.value} routing"
+            )
+        stack: List[Coord] = []
+        for node in result.path:
+            if node in stack:
+                # Backtrack released everything after the earlier visit.
+                while stack and stack[-1] != node:
+                    stack.pop()
+            else:
+                stack.append(node)
+        return cls(tuple(stack))
+
+    @property
+    def source(self) -> Coord:
+        """First node of the circuit."""
+        return self.path[0]
+
+    @property
+    def destination(self) -> Coord:
+        """Last node of the circuit."""
+        return self.path[-1]
+
+    @property
+    def length(self) -> int:
+        """Number of links of the circuit."""
+        return len(self.path) - 1
+
+    @property
+    def links(self) -> FrozenSet[Link]:
+        """Undirected links reserved by the circuit."""
+        return frozenset(
+            _canonical_link(u, v) for u, v in zip(self.path, self.path[1:])
+        )
+
+
+@dataclass
+class CircuitTable:
+    """Link-occupancy bookkeeping across concurrently reserved circuits."""
+
+    _links_in_use: Dict[Link, Circuit] = field(default_factory=dict)
+    _circuits: List[Circuit] = field(default_factory=list)
+
+    def conflicts(self, circuit: Circuit) -> Set[Link]:
+        """Links of ``circuit`` already reserved by another circuit."""
+        return {link for link in circuit.links if link in self._links_in_use}
+
+    def reserve(self, circuit: Circuit) -> None:
+        """Reserve every link of ``circuit``; raise on any conflict."""
+        conflicts = self.conflicts(circuit)
+        if conflicts:
+            raise ReservationError(f"links already reserved: {sorted(conflicts)}")
+        for link in circuit.links:
+            self._links_in_use[link] = circuit
+        self._circuits.append(circuit)
+
+    def release(self, circuit: Circuit) -> None:
+        """Release every link of ``circuit`` (a no-op for unknown circuits)."""
+        if circuit not in self._circuits:
+            return
+        self._circuits.remove(circuit)
+        for link in circuit.links:
+            if self._links_in_use.get(link) is circuit:
+                del self._links_in_use[link]
+
+    @property
+    def reserved_links(self) -> int:
+        """Number of links currently reserved."""
+        return len(self._links_in_use)
+
+    @property
+    def circuits(self) -> List[Circuit]:
+        """Circuits currently holding reservations."""
+        return list(self._circuits)

@@ -1,0 +1,62 @@
+"""Data-phase latency model for pipelined circuit switching.
+
+Once a circuit is reserved, PCS streams the message over it in a pipelined
+fashion, so the transmission latency is (path length) x (per-hop header
+latency) + (message length / bandwidth).  The paper's evaluation quantities
+are all about the *setup* phase, but end-to-end comparisons (e.g. against a
+hypothetical router with global tables whose setup never detours) need a way
+to convert the path-setup step count and circuit length into a latency
+figure; this module provides that conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.routing import RouteResult
+from repro.pcs.circuit import Circuit
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Latency parameters of the PCS pipeline.
+
+    All quantities are in abstract time units; only ratios matter for the
+    comparisons the experiments report.
+    """
+
+    #: Per-hop latency of the path-setup probe (one simulation step).
+    setup_hop_latency: float = 1.0
+
+    #: Per-hop latency of the circuit pipeline during data transmission.
+    data_hop_latency: float = 0.2
+
+    #: Time to push one flit onto the circuit.
+    flit_injection_latency: float = 0.05
+
+    def setup_latency(self, result: RouteResult) -> float:
+        """Latency of the path-setup phase (every hop, including backtracks)."""
+        return self.setup_hop_latency * result.hops
+
+    def data_latency(self, circuit: Circuit, message_flits: int) -> float:
+        """Latency of streaming ``message_flits`` flits over ``circuit``."""
+        if message_flits < 0:
+            raise ValueError("message_flits must be non-negative")
+        pipeline_fill = self.data_hop_latency * circuit.length
+        streaming = self.flit_injection_latency * message_flits
+        return pipeline_fill + streaming
+
+    def end_to_end(self, result: RouteResult, message_flits: int) -> float:
+        """Total latency: path setup plus pipelined data transmission."""
+        circuit = Circuit.from_route(result)
+        return self.setup_latency(result) + self.data_latency(circuit, message_flits)
+
+
+def transfer_latency(
+    result: RouteResult,
+    message_flits: int = 64,
+    model: TransferModel | None = None,
+) -> float:
+    """Convenience wrapper computing the end-to-end latency of one routing."""
+    model = model or TransferModel()
+    return model.end_to_end(result, message_flits)

@@ -1,0 +1,295 @@
+"""The step-synchronous simulation engine (Section 5, Figure 7).
+
+Every simulation step executes, in order:
+
+1. **fault detection** — the fault/recovery events scheduled for this step
+   are applied to the labeling state (a fault occurring later in the step
+   would be detected at the next step, as in the paper);
+2. **λ rounds of information exchange** — each round runs one synchronous
+   round of block construction (status exchange + rules of Algorithm 1),
+   advances every active identification process by one hop and every active
+   boundary propagation by one hop.  When the labeling stabilizes, new
+   identification processes are started reactively for blocks whose extent
+   is not yet identified, and stale records of disappeared blocks are
+   cancelled;
+3. **message reception / routing decision / message sending** — every
+   in-flight routing probe advances exactly one hop (forward or backtrack)
+   using whatever information its current node holds *at this step*, which
+   is how routing with inconsistent (still-converging) information arises.
+
+The engine records, per fault change, the rounds each construction needed
+(``a_i``, ``b_i``, ``c_i``) and, per routing probe, the usual delivery and
+detour statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.block_construction import extract_blocks, labeling_round
+from repro.core.boundary import BoundaryProtocol
+from repro.core.identification import IdentificationProtocol
+from repro.core.routing import RoutingPolicy, RoutingProbe
+from repro.core.state import InformationState
+from repro.faults.schedule import DynamicFaultSchedule, FaultEventKind
+from repro.mesh.regions import Region
+from repro.mesh.topology import Mesh
+from repro.simulator.stats import ConvergenceRecord, MessageRecord, SimulationStats
+from repro.simulator.traffic import TrafficMessage
+
+Coord = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Tunable parameters of the execution model."""
+
+    #: Rounds of fault-information exchange per step (the paper's ``λ``).
+    lam: int = 2
+
+    #: Hard limit on simulated steps.
+    max_steps: int = 20_000
+
+    #: Routing policy used for every probe (limited-global by default).
+    policy: RoutingPolicy = field(default_factory=RoutingPolicy.limited_global)
+
+    #: When True, information for the *initial* fault set is fully
+    #: distributed before step 0, matching the paper's assumption that the
+    #: first ``p`` faults are already stabilized when a routing starts.
+    preconverge_initial_faults: bool = True
+
+    #: A probe still in flight after this many steps is reported EXHAUSTED
+    #: (``None`` derives a generous default from the mesh size).
+    max_probe_lifetime: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.lam < 1:
+            raise ValueError("λ (lam) must be at least 1")
+        if self.max_steps < 1:
+            raise ValueError("max_steps must be positive")
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished simulation exposes."""
+
+    stats: SimulationStats
+    information: InformationState
+    config: SimulationConfig
+
+    @property
+    def steps(self) -> int:
+        """Number of simulated steps."""
+        return self.stats.steps
+
+
+class Simulator:
+    """Discrete-step simulator tying the protocols and routing together."""
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        *,
+        schedule: Optional[DynamicFaultSchedule] = None,
+        traffic: Sequence[TrafficMessage] = (),
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        self.mesh = mesh
+        # Note: a purely static schedule has len() == 0, so test identity
+        # against None rather than truthiness.
+        self.schedule = schedule if schedule is not None else DynamicFaultSchedule()
+        self.config = config or SimulationConfig()
+        self.traffic = sorted(traffic, key=lambda m: m.start_time)
+        for message in self.traffic:
+            mesh.validate(message.source)
+            mesh.validate(message.destination)
+
+        self.info = InformationState.fresh(mesh, self.schedule.initial_faults)
+        self.stats = SimulationStats()
+
+        self._identified_extents: Set[Region] = set()
+        self._identifications: List[IdentificationProtocol] = []
+        self._boundaries: List[BoundaryProtocol] = []
+        self._pending_convergence: List[ConvergenceRecord] = []
+        self._probes: List[Tuple[TrafficMessage, RoutingProbe]] = []
+        self._next_traffic_index = 0
+        self._labeling_dirty = bool(self.schedule.initial_faults)
+        self._step = 0
+
+        if self.config.preconverge_initial_faults and self.schedule.initial_faults:
+            self._preconverge()
+
+    # ------------------------------------------------------------------ #
+    # setup
+    # ------------------------------------------------------------------ #
+    def _preconverge(self) -> None:
+        """Stabilize labeling and distribute information for initial faults."""
+        while labeling_round(self.info.labeling):
+            pass
+        self._start_new_identifications()
+        while self._identifications or self._boundaries:
+            self._advance_protocols(record_rounds=False)
+        self._labeling_dirty = False
+
+    # ------------------------------------------------------------------ #
+    # protocol management
+    # ------------------------------------------------------------------ #
+    def _current_extents(self) -> Set[Region]:
+        return {block.extent for block in extract_blocks(self.info.labeling)}
+
+    def _start_new_identifications(self) -> None:
+        """Reactively start identification for blocks without current records."""
+        current = self._current_extents()
+        removed_any = bool(self._identified_extents - current)
+        if removed_any:
+            self.info.cancel_stale(current)
+            self._identified_extents &= current
+        version = self.info.bump_version() if current - self._identified_extents else self.info.version
+        for block in extract_blocks(self.info.labeling):
+            if block.extent in self._identified_extents:
+                continue
+            self._identifications.append(
+                IdentificationProtocol(self.info, block, version=version)
+            )
+            self._identified_extents.add(block.extent)
+
+    def _advance_protocols(self, *, record_rounds: bool = True) -> None:
+        """Advance every active identification/boundary protocol by one round."""
+        still_identifying: List[IdentificationProtocol] = []
+        for protocol in self._identifications:
+            protocol.round()
+            if protocol.done:
+                result = protocol.result
+                assert result is not None
+                if record_rounds:
+                    for record in self._pending_convergence:
+                        record.identification_rounds = max(
+                            record.identification_rounds, result.total_rounds
+                        )
+                if result.stable:
+                    boundary = BoundaryProtocol(self.info)
+                    boundary.seed_block(protocol.block, version=result.version)
+                    self._boundaries.append(boundary)
+                else:
+                    # Unstable identification: the block changed while the
+                    # process ran; drop it so a fresh process can start once
+                    # the labeling stabilizes again.
+                    self._identified_extents.discard(protocol.block.extent)
+            else:
+                still_identifying.append(protocol)
+        self._identifications = still_identifying
+
+        still_propagating: List[BoundaryProtocol] = []
+        for boundary in self._boundaries:
+            active = boundary.round()
+            if record_rounds:
+                for record in self._pending_convergence:
+                    record.boundary_rounds = max(record.boundary_rounds, boundary.rounds)
+            if active:
+                still_propagating.append(boundary)
+        self._boundaries = still_propagating
+
+    # ------------------------------------------------------------------ #
+    # stepping
+    # ------------------------------------------------------------------ #
+    @property
+    def current_step(self) -> int:
+        """The next step index to execute."""
+        return self._step
+
+    def step(self) -> None:
+        """Execute one full simulation step (Figure 7 (a))."""
+        t = self._step
+
+        # 1. fault detection -------------------------------------------------
+        for event in self.schedule.events_at(t):
+            if event.kind is FaultEventKind.FAULT:
+                self.info.labeling.make_faulty(event.node)
+            else:
+                self.info.labeling.recover(event.node)
+            self._labeling_dirty = True
+            self._pending_convergence.append(
+                ConvergenceRecord(event=event, detected_step=t)
+            )
+
+        # 2. λ rounds of information exchange --------------------------------
+        for _ in range(self.config.lam):
+            changed = labeling_round(self.info.labeling)
+            self.stats.total_rounds += 1
+            if changed:
+                for record in self._pending_convergence:
+                    record.labeling_rounds += 1
+            elif self._labeling_dirty:
+                # Labeling just stabilized: reactively (re)build information.
+                self._start_new_identifications()
+                self._labeling_dirty = False
+            self._advance_protocols()
+            if (
+                not self._labeling_dirty
+                and not self._identifications
+                and not self._boundaries
+            ):
+                for record in self._pending_convergence:
+                    if record.stabilized_step is None:
+                        record.stabilized_step = t
+                        self.stats.convergence.append(record)
+                self._pending_convergence = [
+                    r for r in self._pending_convergence if r.stabilized_step is None
+                ]
+
+        # 3. message injection, reception, routing decision, sending ---------
+        while (
+            self._next_traffic_index < len(self.traffic)
+            and self.traffic[self._next_traffic_index].start_time <= t
+        ):
+            message = self.traffic[self._next_traffic_index]
+            self._next_traffic_index += 1
+            probe = RoutingProbe(
+                self.mesh,
+                message.source,
+                message.destination,
+                policy=self.config.policy,
+            )
+            self._probes.append((message, probe))
+
+        lifetime = self.config.max_probe_lifetime or 8 * self.mesh.size
+        remaining: List[Tuple[TrafficMessage, RoutingProbe]] = []
+        for message, probe in self._probes:
+            outcome = probe.step(self.info)
+            expired = (t - message.start_time) >= lifetime
+            if outcome is not None or expired:
+                self.stats.messages.append(
+                    MessageRecord(message=message, result=probe.result(), finish_step=t)
+                )
+            else:
+                remaining.append((message, probe))
+        self._probes = remaining
+
+        self._step += 1
+        self.stats.steps = self._step
+
+    def _work_remaining(self) -> bool:
+        return bool(
+            self._probes
+            or self._pending_convergence
+            or self._identifications
+            or self._boundaries
+            or self._labeling_dirty
+            or self._next_traffic_index < len(self.traffic)
+            or any(e.time >= self._step for e in self.schedule.events)
+        )
+
+    def run(self, *, min_steps: int = 0) -> SimulationResult:
+        """Run steps until all work has drained (or ``max_steps`` is hit)."""
+        while self._step < self.config.max_steps and (
+            self._step < min_steps or self._work_remaining()
+        ):
+            self.step()
+        # Flush probes still in flight when the step budget ran out.
+        for message, probe in self._probes:
+            self.stats.messages.append(
+                MessageRecord(message=message, result=probe.result(), finish_step=None)
+            )
+        self._probes = []
+        return SimulationResult(stats=self.stats, information=self.info, config=self.config)

@@ -1,0 +1,157 @@
+"""Statistics collected by the simulator.
+
+Three record types cover everything the experiments report:
+
+* :class:`ConvergenceRecord` — for each fault change, the rounds the three
+  constructions needed to stabilize (the paper's ``a_i``, ``b_i``, ``c_i``);
+* :class:`MessageRecord` — outcome and detour accounting for each routing
+  probe;
+* :class:`SimulationStats` — aggregate views over both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.routing import RouteOutcome, RouteResult
+from repro.faults.schedule import FaultEvent
+from repro.simulator.traffic import TrafficMessage
+
+Coord = Tuple[int, ...]
+
+
+@dataclass
+class ConvergenceRecord:
+    """Convergence accounting for one fault change (occurrence or recovery)."""
+
+    #: The triggering event.
+    event: FaultEvent
+
+    #: Simulation step at which the event was detected.
+    detected_step: int
+
+    #: Rounds of block construction until the labeling stabilized (``a_i``).
+    labeling_rounds: int = 0
+
+    #: Rounds of the identification constructions started by this change
+    #: (``b_i`` — the largest among concurrently identified blocks).
+    identification_rounds: int = 0
+
+    #: Rounds of the boundary constructions started by this change (``c_i``).
+    boundary_rounds: int = 0
+
+    #: Step at which all three constructions had stabilized, or ``None`` if
+    #: the simulation ended first.
+    stabilized_step: Optional[int] = None
+
+    @property
+    def total_rounds(self) -> int:
+        """``a_i + b_i + c_i`` — total stabilization work for this change."""
+        return self.labeling_rounds + self.identification_rounds + self.boundary_rounds
+
+    def steps_to_stabilize(self, lam: int) -> int:
+        """Steps needed at ``λ`` rounds per step (``⌈(a+b+c)/λ⌉``)."""
+        return -(-self.total_rounds // max(lam, 1))
+
+
+@dataclass
+class MessageRecord:
+    """Outcome of one routing probe."""
+
+    message: TrafficMessage
+    result: RouteResult
+
+    #: Step at which the probe terminated (delivered/unreachable), or None.
+    finish_step: Optional[int] = None
+
+    @property
+    def delivered(self) -> bool:
+        """True iff the probe reached its destination."""
+        return self.result.outcome is RouteOutcome.DELIVERED
+
+    @property
+    def detours(self) -> Optional[int]:
+        """Extra steps over the fault-free minimal distance."""
+        return self.result.detours
+
+
+@dataclass
+class SimulationStats:
+    """Aggregates over a finished simulation."""
+
+    messages: List[MessageRecord] = field(default_factory=list)
+    convergence: List[ConvergenceRecord] = field(default_factory=list)
+    steps: int = 0
+    total_rounds: int = 0
+
+    # ------------------------------------------------------------------ #
+    # message-level aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def delivered_messages(self) -> List[MessageRecord]:
+        """Messages whose probe reached its destination."""
+        return [m for m in self.messages if m.delivered]
+
+    @property
+    def delivery_rate(self) -> float:
+        """Fraction of probes delivered (1.0 when there were none)."""
+        if not self.messages:
+            return 1.0
+        return len(self.delivered_messages) / len(self.messages)
+
+    @property
+    def mean_detours(self) -> float:
+        """Mean extra steps over the minimal distance among delivered probes."""
+        delivered = self.delivered_messages
+        if not delivered:
+            return 0.0
+        return mean(m.detours or 0 for m in delivered)
+
+    @property
+    def max_detours(self) -> int:
+        """Largest detour among delivered probes."""
+        delivered = self.delivered_messages
+        if not delivered:
+            return 0
+        return max(m.detours or 0 for m in delivered)
+
+    @property
+    def mean_hops(self) -> float:
+        """Mean total hops (forward + backtrack) among delivered probes."""
+        delivered = self.delivered_messages
+        if not delivered:
+            return 0.0
+        return mean(m.result.hops for m in delivered)
+
+    # ------------------------------------------------------------------ #
+    # convergence aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def mean_labeling_rounds(self) -> float:
+        """Mean ``a_i`` over all fault changes."""
+        if not self.convergence:
+            return 0.0
+        return mean(c.labeling_rounds for c in self.convergence)
+
+    @property
+    def max_total_convergence_rounds(self) -> int:
+        """Largest ``a_i + b_i + c_i`` over all fault changes."""
+        if not self.convergence:
+            return 0
+        return max(c.total_rounds for c in self.convergence)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary dictionary convenient for printing bench tables."""
+        return {
+            "messages": float(len(self.messages)),
+            "delivery_rate": self.delivery_rate,
+            "mean_detours": self.mean_detours,
+            "max_detours": float(self.max_detours),
+            "mean_hops": self.mean_hops,
+            "fault_changes": float(len(self.convergence)),
+            "mean_labeling_rounds": self.mean_labeling_rounds,
+            "max_convergence_rounds": float(self.max_total_convergence_rounds),
+            "steps": float(self.steps),
+        }

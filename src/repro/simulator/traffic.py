@@ -1,0 +1,32 @@
+"""Routing traffic descriptions consumed by the simulator.
+
+A :class:`TrafficMessage` is one routing request: a source/destination pair
+plus the step at which the path-setup probe is injected (the paper's routing
+start time ``t``).  Workload generators in :mod:`repro.workloads` produce
+lists of these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+Coord = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class TrafficMessage:
+    """One routing request."""
+
+    source: Coord
+    destination: Coord
+    start_time: int = 0
+    #: Optional label used by experiments to group messages (e.g. "before
+    #: fault", "during convergence").
+    tag: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.start_time < 0:
+            raise ValueError("start_time must be non-negative")
+        object.__setattr__(self, "source", tuple(self.source))
+        object.__setattr__(self, "destination", tuple(self.destination))

@@ -1,0 +1,10 @@
+"""Text rendering of mesh state (2-D meshes and 3-D slices).
+
+The experiments and examples use these helpers to show, in a terminal, where
+the faulty blocks sit, which nodes hold limited-global information and what
+path a probe took — the textual analogue of the paper's figures.
+"""
+
+from repro.viz.ascii import render_information, render_labeling, render_route
+
+__all__ = ["render_information", "render_labeling", "render_route"]

@@ -1,0 +1,132 @@
+"""ASCII renderers for 2-D meshes (or 2-D slices of higher-dimensional meshes).
+
+Legend used by all renderers:
+
+* ``F`` — faulty node
+* ``D`` — disabled node (non-faulty block member)
+* ``C`` — clean node (transient, during recovery)
+* ``b`` — enabled node holding block information
+* ``+`` — enabled node holding boundary information
+* ``.`` — enabled node with no information
+* ``S`` / ``T`` — source / destination of a rendered route
+* ``*`` — node visited by the rendered route
+
+Rows are printed with the second coordinate (``y``) decreasing downwards so
+the origin ``(0, 0)`` appears at the bottom-left, matching the paper's
+figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.block_construction import LabelingState
+from repro.core.routing import RouteResult
+from repro.core.state import InformationState
+from repro.faults.status import NodeStatus
+from repro.mesh.topology import Mesh
+
+Coord = Tuple[int, ...]
+
+_STATUS_CHARS = {
+    NodeStatus.FAULTY: "F",
+    NodeStatus.DISABLED: "D",
+    NodeStatus.CLEAN: "C",
+    NodeStatus.ENABLED: ".",
+}
+
+
+def _slice_node(x: int, y: int, slice_coords: Optional[Sequence[int]]) -> Coord:
+    """Build the full node address for grid position (x, y)."""
+    if slice_coords is None:
+        return (x, y)
+    return (x, y, *tuple(slice_coords))
+
+
+def _grid(
+    mesh: Mesh,
+    slice_coords: Optional[Sequence[int]],
+    char_of,
+) -> str:
+    if slice_coords is None and mesh.n_dims != 2:
+        raise ValueError(
+            "rendering a mesh with more than two dimensions requires "
+            "slice_coords fixing the remaining coordinates"
+        )
+    if slice_coords is not None and len(slice_coords) != mesh.n_dims - 2:
+        raise ValueError(
+            f"slice_coords must fix {mesh.n_dims - 2} coordinates, "
+            f"got {len(slice_coords)}"
+        )
+    width, height = mesh.shape[0], mesh.shape[1]
+    rows = []
+    for y in range(height - 1, -1, -1):
+        row = []
+        for x in range(width):
+            node = _slice_node(x, y, slice_coords)
+            row.append(char_of(node))
+        rows.append(" ".join(row))
+    return "\n".join(rows)
+
+
+def render_labeling(
+    mesh: Mesh,
+    labeling: LabelingState,
+    *,
+    slice_coords: Optional[Sequence[int]] = None,
+) -> str:
+    """Render node statuses (faulty / disabled / clean / enabled)."""
+
+    def char_of(node: Coord) -> str:
+        return _STATUS_CHARS[labeling.status(node)]
+
+    return _grid(mesh, slice_coords, char_of)
+
+
+def render_information(
+    info: InformationState,
+    *,
+    slice_coords: Optional[Sequence[int]] = None,
+) -> str:
+    """Render where limited-global information is held.
+
+    Block members render as in :func:`render_labeling`; enabled nodes render
+    as ``b`` (block record), ``+`` (boundary record only) or ``.`` (nothing).
+    """
+
+    def char_of(node: Coord) -> str:
+        status = info.labeling.status(node)
+        if status is not NodeStatus.ENABLED:
+            return _STATUS_CHARS[status]
+        if info.blocks_known_at(node):
+            return "b"
+        if info.boundaries_at(node):
+            return "+"
+        return "."
+
+    return _grid(info.mesh, slice_coords, char_of)
+
+
+def render_route(
+    mesh: Mesh,
+    labeling: LabelingState,
+    route: RouteResult,
+    *,
+    slice_coords: Optional[Sequence[int]] = None,
+) -> str:
+    """Render the nodes visited by a routing probe over the labeling map."""
+    visited = set(route.path)
+
+    def char_of(node: Coord) -> str:
+        if node == route.source:
+            return "S"
+        if node == route.destination:
+            return "T"
+        status = labeling.status(node)
+        if status is not NodeStatus.ENABLED:
+            return _STATUS_CHARS[status]
+        if node in visited:
+            return "*"
+        return "."
+
+    return _grid(mesh, slice_coords, char_of)

@@ -1,0 +1,195 @@
+"""The paper's worked scenarios and composite experiment builders.
+
+Each ``figureN_scenario`` returns the exact configuration drawn in the
+corresponding figure of the paper so that tests and benches can check the
+reproduced behaviour against the published description (e.g. Figure 1's four
+faults producing the block ``[3:5, 5:6, 3:4]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.faults.injection import dynamic_schedule, uniform_random_faults
+from repro.faults.schedule import DynamicFaultSchedule, FaultEvent, FaultEventKind
+from repro.mesh.regions import Region
+from repro.mesh.topology import Mesh
+from repro.simulator.traffic import TrafficMessage
+from repro.workloads.traffic import random_pairs, to_traffic
+
+Coord = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class DynamicRoutingScenario:
+    """A complete experiment: mesh, fault schedule and traffic."""
+
+    name: str
+    mesh: Mesh
+    schedule: DynamicFaultSchedule
+    traffic: Tuple[TrafficMessage, ...] = ()
+    #: The block extent(s) the paper says should emerge, when applicable.
+    expected_extents: Tuple[Region, ...] = ()
+
+    def with_traffic(self, traffic: Sequence[TrafficMessage]) -> "DynamicRoutingScenario":
+        """The same scenario with a different traffic batch."""
+        return DynamicRoutingScenario(
+            name=self.name,
+            mesh=self.mesh,
+            schedule=self.schedule,
+            traffic=tuple(traffic),
+            expected_extents=self.expected_extents,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Figure 1 / Figure 2: the four-fault block [3:5, 5:6, 3:4]
+# ---------------------------------------------------------------------- #
+#: The four faults of Figure 1 in a 3-D mesh.
+FIGURE1_FAULTS: Tuple[Coord, ...] = ((3, 5, 4), (4, 5, 4), (5, 5, 3), (3, 6, 3))
+
+#: The block the paper says those faults produce.
+FIGURE1_EXTENT = Region((3, 5, 3), (5, 6, 4))
+
+#: The 3-level corner highlighted in Figure 2 and its three edge neighbors.
+FIGURE2_CORNER: Coord = (6, 4, 5)
+FIGURE2_EDGE_NEIGHBORS: Tuple[Coord, ...] = ((5, 4, 5), (6, 5, 5), (6, 4, 4))
+
+
+def figure1_scenario(radix: int = 10) -> DynamicRoutingScenario:
+    """The static four-fault configuration of Figure 1 (3-D mesh)."""
+    if radix < 9:
+        raise ValueError("Figure 1 needs a mesh of radix >= 9")
+    mesh = Mesh.cube(radix, 3)
+    schedule = DynamicFaultSchedule.static(FIGURE1_FAULTS)
+    return DynamicRoutingScenario(
+        name="figure-1",
+        mesh=mesh,
+        schedule=schedule,
+        expected_extents=(FIGURE1_EXTENT,),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Figure 4: recovery of node (5,5,3)
+# ---------------------------------------------------------------------- #
+def figure4_recovery_scenario(
+    radix: int = 10, *, recovery_time: int = 4
+) -> DynamicRoutingScenario:
+    """Figure 4: the Figure-1 block with fault (5,5,3) recovering.
+
+    After the recovery stabilizes, the remaining three faults no longer span
+    the original extent; the stabilized configuration is the smaller
+    block(s) shown in Figure 4(b).
+    """
+    mesh = Mesh.cube(radix, 3)
+    schedule = DynamicFaultSchedule(
+        events=[FaultEvent(recovery_time, (5, 5, 3), FaultEventKind.RECOVERY)],
+        initial_faults=set(FIGURE1_FAULTS),
+    )
+    return DynamicRoutingScenario(
+        name="figure-4-recovery",
+        mesh=mesh,
+        schedule=schedule,
+        expected_extents=(FIGURE1_EXTENT,),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Figures 3/5/6: parametric blocks and two-block configurations
+# ---------------------------------------------------------------------- #
+def parametric_block_scenario(
+    radix: int, n_dims: int, edge: int, *, origin: Optional[Sequence[int]] = None
+) -> DynamicRoutingScenario:
+    """A single cubic block of the given edge length, fully faulty.
+
+    Used by the identification/boundary experiments (Figures 5 and 6) which
+    sweep the block size; making every node of the extent faulty guarantees
+    the labeling stabilizes to exactly that extent.
+    """
+    if edge < 1:
+        raise ValueError("edge must be at least 1")
+    mesh = Mesh.cube(radix, n_dims)
+    if origin is None:
+        start = max(1, (radix - edge) // 2)
+        origin = tuple([start] * n_dims)
+    origin = tuple(origin)
+    extent = Region(origin, tuple(o + edge - 1 for o in origin))
+    if not mesh.interior_region(1).contains_region(extent):
+        raise ValueError(
+            f"block extent {extent} does not fit in the interior of mesh {mesh.shape}"
+        )
+    schedule = DynamicFaultSchedule.static(list(extent.iter_points()))
+    return DynamicRoutingScenario(
+        name=f"block-{n_dims}d-edge{edge}",
+        mesh=mesh,
+        schedule=schedule,
+        expected_extents=(extent,),
+    )
+
+
+def two_block_scenario(radix: int = 12) -> DynamicRoutingScenario:
+    """Two blocks aligned so one block's boundary runs into the other (Figure 3(d)).
+
+    Block A sits "above" block B along the Y axis with overlapping X/Z
+    spans, so the boundary propagation of A (moving in -Y) intersects B and
+    must merge into B's boundary.
+    """
+    mesh = Mesh.cube(radix, 3)
+    block_a = Region((4, 7, 4), (6, 8, 6))
+    block_b = Region((4, 2, 4), (6, 3, 6))
+    faults = list(block_a.iter_points()) + list(block_b.iter_points())
+    schedule = DynamicFaultSchedule.static(faults)
+    return DynamicRoutingScenario(
+        name="figure-3d-two-blocks",
+        mesh=mesh,
+        schedule=schedule,
+        expected_extents=(block_a, block_b),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Composite dynamic experiments (companion-paper style)
+# ---------------------------------------------------------------------- #
+def random_dynamic_scenario(
+    *,
+    radix: int = 12,
+    n_dims: int = 3,
+    dynamic_faults: int = 8,
+    initial_faults: int = 0,
+    interval: int = 10,
+    messages: int = 20,
+    min_distance: Optional[int] = None,
+    seed: int = 0,
+) -> DynamicRoutingScenario:
+    """A randomized dynamic-fault routing experiment.
+
+    ``dynamic_faults`` interior nodes fail one per ``interval`` steps while
+    ``messages`` probes between random far-apart pairs are in flight — the
+    setting of the graceful-degradation experiments.
+    """
+    rng = np.random.default_rng(seed)
+    mesh = Mesh.cube(radix, n_dims)
+    fault_nodes = uniform_random_faults(
+        mesh, dynamic_faults + initial_faults, rng, margin=1
+    )
+    initial = fault_nodes[:initial_faults]
+    dynamic = fault_nodes[initial_faults:]
+    schedule = dynamic_schedule(
+        dynamic, start_time=2, interval=interval, initial=initial
+    )
+    if min_distance is None:
+        min_distance = mesh.diameter // 2
+    pairs = random_pairs(
+        mesh, messages, rng, min_distance=min_distance, exclude=fault_nodes
+    )
+    traffic = to_traffic(pairs, start_time=0, spacing=1, tag="dynamic")
+    return DynamicRoutingScenario(
+        name=f"dynamic-{n_dims}d-f{dynamic_faults}",
+        mesh=mesh,
+        schedule=schedule,
+        traffic=tuple(traffic),
+    )

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mesh.topology import Mesh
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def mesh2d() -> Mesh:
+    """A 10x10 2-D mesh."""
+    return Mesh.cube(10, 2)
+
+
+@pytest.fixture
+def mesh3d() -> Mesh:
+    """The 10x10x10 3-D mesh used by the paper's worked examples."""
+    return Mesh.cube(10, 3)
+
+
+@pytest.fixture
+def mesh4d() -> Mesh:
+    """A small 4-D mesh (6^4 nodes)."""
+    return Mesh.cube(6, 4)

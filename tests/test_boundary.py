@@ -1,0 +1,182 @@
+"""Unit tests for boundary construction (Definition 3, Figure 3)."""
+
+import pytest
+
+from repro.core.block_construction import build_blocks
+from repro.core.boundary import (
+    BoundaryProtocol,
+    boundary_start_nodes,
+    compute_boundaries,
+    dangerous_prism,
+    opposite_prism,
+)
+from repro.core.faulty_block import FaultyBlock
+from repro.core.state import InformationState
+from repro.mesh.regions import Region
+from repro.mesh.topology import Mesh
+from repro.workloads.scenarios import (
+    FIGURE1_EXTENT,
+    FIGURE1_FAULTS,
+    two_block_scenario,
+)
+
+
+@pytest.fixture
+def figure1_block() -> FaultyBlock:
+    return FaultyBlock(FIGURE1_EXTENT)
+
+
+class TestPrismHelpers:
+    def test_dangerous_and_opposite_prisms(self, mesh3d):
+        prism = dangerous_prism(FIGURE1_EXTENT, mesh3d, dim=1, side=-1)
+        target = opposite_prism(FIGURE1_EXTENT, mesh3d, dim=1, side=-1)
+        assert prism == Region((3, 0, 3), (5, 4, 4))
+        assert target == Region((3, 7, 3), (5, 9, 4))
+
+
+class TestBoundaryStartNodes:
+    def test_2d_start_nodes_are_surface_ends(self, mesh2d):
+        block = FaultyBlock(Region((4, 4), (6, 5)))
+        starts = boundary_start_nodes(block, mesh2d, dim=1, dangerous_side=-1)
+        # The adjacent surface below the block is y=3, x in 4..6; its edge
+        # nodes (one hop outside the x-span) are (3,3) and (7,3).
+        assert sorted(starts) == [(3, 3), (7, 3)]
+
+    def test_3d_start_nodes_exclude_corners(self, mesh3d, figure1_block):
+        starts = boundary_start_nodes(figure1_block, mesh3d, dim=1, dangerous_side=-1)
+        # Edges of S1 (y=4): x in {2,6} with z in 3..4, plus z in {2,5} with
+        # x in 3..5 — and never the corners like (2,4,2).
+        assert (2, 4, 3) in starts
+        assert (6, 4, 4) in starts
+        assert (4, 4, 2) in starts
+        assert (2, 4, 2) not in starts
+        # x in {2,6} with z spanning 3..4 (4 nodes) plus z in {2,5} with x
+        # spanning 3..5 (6 nodes).
+        assert len(starts) == 2 * 2 + 2 * 3
+
+    def test_start_nodes_empty_when_no_room(self, mesh2d):
+        block = FaultyBlock(Region((0, 4), (1, 5)))
+        assert boundary_start_nodes(block, mesh2d, dim=0, dangerous_side=-1) == []
+
+    def test_invalid_side_rejected(self, mesh2d):
+        block = FaultyBlock(Region((4, 4), (5, 5)))
+        with pytest.raises(ValueError):
+            boundary_start_nodes(block, mesh2d, dim=0, dangerous_side=0)
+
+
+class TestComputeBoundaries:
+    def test_2d_boundary_columns(self, mesh2d):
+        """In 2-D the boundary for +Y destinations is the two columns beside
+        the block extending towards y = 0 (Figure 3(a) analogue)."""
+        block = FaultyBlock(Region((4, 4), (6, 5)))
+        informed = compute_boundaries(mesh2d, [block])
+        records = {
+            node: {(b.dim, b.dangerous_side) for b in infos}
+            for node, infos in informed.items()
+        }
+        # Column x=3 and x=7 below the block carry the (dim=1, side=-1) info.
+        for y in range(0, 4):
+            assert (1, -1) in records[(3, y)]
+            assert (1, -1) in records[(7, y)]
+        # Nodes inside the dangerous prism itself do not (the boundary
+        # encloses the area; it is not the area).
+        assert (5, 2) not in records
+
+    def test_boundary_reaches_mesh_surface(self, mesh3d, figure1_block):
+        informed = compute_boundaries(mesh3d, [figure1_block])
+        # The -Y propagation walks all the way down to y = 0.
+        assert any(node[1] == 0 for node in informed)
+
+    def test_boundary_respects_all_dimensions(self, mesh3d, figure1_block):
+        informed = compute_boundaries(mesh3d, [figure1_block])
+        dims = {b.dim for infos in informed.values() for b in infos}
+        sides = {b.dangerous_side for infos in informed.values() for b in infos}
+        assert dims == {0, 1, 2}
+        assert sides == {-1, +1}
+
+    def test_boundary_nodes_hold_block_extent(self, mesh3d, figure1_block):
+        informed = compute_boundaries(mesh3d, [figure1_block])
+        for infos in informed.values():
+            for info in infos:
+                assert info.extent == FIGURE1_EXTENT
+
+    def test_two_block_merge(self):
+        """Figure 3(d): the boundary of block A merges into block B's boundary."""
+        scenario = two_block_scenario()
+        mesh = scenario.mesh
+        result = build_blocks(mesh, scenario.schedule.initial_faults)
+        blocks = {b.extent: b for b in result.blocks}
+        block_a = blocks[scenario.expected_extents[0]]  # upper block
+        informed = compute_boundaries(mesh, [block_a])
+        # Block A's -Y propagation runs into block B (y span 2..3, same x/z
+        # span); its information must appear beyond B (y < 2) on B's
+        # boundary columns, i.e. the propagation continued past the second
+        # block rather than silently stopping.
+        beyond = [
+            node
+            for node, infos in informed.items()
+            if node[1] < 2 and any(i.extent == block_a.extent for i in infos)
+        ]
+        assert beyond, "block A's boundary should continue beyond block B"
+        # And B's adjacent surface facing A holds A's info as well.
+        facing = [
+            node
+            for node, infos in informed.items()
+            if node[1] == 4 and any(i.extent == block_a.extent for i in infos)
+        ]
+        assert facing
+
+
+class TestBoundaryProtocol:
+    def test_round_counting(self, mesh3d, figure1_block):
+        info = InformationState(
+            mesh=mesh3d,
+            labeling=build_blocks(mesh3d, FIGURE1_FAULTS).state,
+        )
+        protocol = BoundaryProtocol(info)
+        protocol.seed_block(figure1_block)
+        rounds = protocol.run()
+        assert protocol.done
+        # The longest run from a block face to the mesh surface is 6 hops
+        # (e.g. from y=4 down to y=0 is 5, from x=6 up to x=9 is 4 ...); the
+        # propagation must finish within the mesh diameter.
+        assert 0 < rounds <= mesh3d.diameter
+
+    def test_rounds_grow_with_distance_to_surface(self):
+        """c_i depends on where the block sits relative to the mesh surface."""
+        mesh = Mesh.cube(16, 2)
+
+        def boundary_rounds(extent):
+            faults = list(extent.iter_points())
+            labeling = build_blocks(mesh, faults).state
+            info = InformationState(mesh=mesh, labeling=labeling)
+            protocol = BoundaryProtocol(info)
+            protocol.seed_block(FaultyBlock(extent))
+            return protocol.run()
+
+        near_corner = boundary_rounds(Region((2, 2), (3, 3)))
+        centre = boundary_rounds(Region((7, 7), (8, 8)))
+        assert near_corner > centre
+
+    def test_seeding_single_boundary(self, mesh2d):
+        block = FaultyBlock(Region((4, 4), (5, 5)))
+        labeling = build_blocks(mesh2d, list(block.extent.iter_points())).state
+        info = InformationState(mesh=mesh2d, labeling=labeling)
+        protocol = BoundaryProtocol(info)
+        protocol.seed_boundary(block, dim=0, dangerous_side=+1)
+        protocol.run()
+        dims = {b.dim for infos in protocol.informed.values() for b in infos}
+        sides = {b.dangerous_side for infos in protocol.informed.values() for b in infos}
+        assert dims == {0}
+        assert sides == {+1}
+
+    def test_state_receives_records(self, mesh2d):
+        block = FaultyBlock(Region((4, 4), (5, 5)))
+        labeling = build_blocks(mesh2d, list(block.extent.iter_points())).state
+        info = InformationState(mesh=mesh2d, labeling=labeling)
+        protocol = BoundaryProtocol(info)
+        protocol.seed_block(block)
+        protocol.run()
+        assert info.information_cells() > 0
+        for node, infos in protocol.informed.items():
+            assert info.boundaries_at(node) >= frozenset(infos)

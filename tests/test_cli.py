@@ -1,0 +1,107 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRouteCommand:
+    def test_route_with_explicit_faults(self, capsys):
+        code = main(
+            [
+                "route",
+                "--radix",
+                "10",
+                "--dims",
+                "3",
+                "--source",
+                "0,4,4",
+                "--destination",
+                "4,7,4",
+                "--fault",
+                "3,5,4",
+                "--fault",
+                "4,5,4",
+                "--fault",
+                "5,5,3",
+                "--fault",
+                "3,6,3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "delivered" in out
+        assert "detours         : 0" in out
+
+    def test_route_policies(self, capsys):
+        for policy in ("limited-global", "no-information", "global-information"):
+            code = main(
+                [
+                    "route",
+                    "--radix",
+                    "8",
+                    "--dims",
+                    "2",
+                    "--source",
+                    "0,0",
+                    "--destination",
+                    "7,7",
+                    "--random-faults",
+                    "4",
+                    "--policy",
+                    policy,
+                ]
+            )
+            assert code == 0
+            assert policy in capsys.readouterr().out
+
+    def test_route_bad_coordinate(self):
+        with pytest.raises(SystemExit):
+            main(["route", "--dims", "3", "--source", "0,0", "--destination", "1,1,1"])
+
+
+class TestSimulateCommand:
+    def test_simulate_summary(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--radix",
+                "10",
+                "--dims",
+                "2",
+                "--faults",
+                "3",
+                "--messages",
+                "4",
+                "--seed",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "delivery_rate" in out
+        assert "mean_detours" in out
+
+
+class TestCompareCommand:
+    def test_compare_table(self, capsys):
+        code = main(
+            ["compare", "--radix", "10", "--dims", "2", "--faults", "6", "--messages", "8"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("limited-global", "no-information", "global-information"):
+            assert name in out
+
+
+class TestConvergenceCommand:
+    def test_convergence_output(self, capsys):
+        code = main(["convergence", "--radix", "10", "--dims", "3", "--edge", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "identification rounds" in out
+        assert "boundary rounds" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

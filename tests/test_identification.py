@@ -1,0 +1,135 @@
+"""Unit tests for the n-level identification process."""
+
+import pytest
+
+from repro.core.block_construction import build_blocks
+from repro.core.identification import (
+    IdentificationProtocol,
+    identify_block,
+    oracle_identify,
+)
+from repro.core.state import InformationState
+from repro.mesh.regions import Region
+from repro.mesh.topology import Mesh
+from repro.workloads.scenarios import FIGURE1_EXTENT, FIGURE1_FAULTS, parametric_block_scenario
+
+
+def converged_state(mesh, faults):
+    result = build_blocks(mesh, faults)
+    info = InformationState(mesh=mesh, labeling=result.state)
+    return info, result.blocks
+
+
+class TestOracle:
+    def test_oracle_is_bounding_box(self):
+        assert oracle_identify(FIGURE1_FAULTS) == FIGURE1_EXTENT
+
+    def test_oracle_single_node(self):
+        assert oracle_identify([(2, 3)]) == Region((2, 3), (2, 3))
+
+
+class TestIdentificationProtocol:
+    def test_identifies_figure1_block(self, mesh3d):
+        info, blocks = converged_state(mesh3d, FIGURE1_FAULTS)
+        result = identify_block(info, blocks[0])
+        assert result.stable
+        assert result.extent == FIGURE1_EXTENT
+
+    def test_corner_to_corner_geometry(self, mesh3d):
+        """The process starts at an n-level corner and forms the block at the
+        opposite corner (Figure 5)."""
+        info, blocks = converged_state(mesh3d, FIGURE1_FAULTS)
+        protocol = IdentificationProtocol(info, blocks[0])
+        block = blocks[0]
+        assert block.level_of(protocol.initialization_corner) == 3
+        assert block.level_of(protocol.opposite_corner) == 3
+        # Diagonally opposite: they differ in every dimension.
+        assert all(
+            a != b
+            for a, b in zip(protocol.initialization_corner, protocol.opposite_corner)
+        )
+        result = protocol.run()
+        assert result.stable
+
+    def test_record_distributed_to_whole_frame(self, mesh3d):
+        """Figure 6: the identified information reaches all adjacent nodes,
+        edge nodes and corners of the block."""
+        info, blocks = converged_state(mesh3d, FIGURE1_FAULTS)
+        block = blocks[0]
+        protocol = IdentificationProtocol(info, block)
+        protocol.run()
+        frame = set(block.frame_nodes(mesh3d))
+        assert protocol.informed_nodes == frame
+        for node in frame:
+            assert info.has_block_info(node, block.extent)
+
+    def test_rounds_scale_with_block_perimeter_not_mesh(self):
+        """b_i grows with the block size, not the mesh size."""
+        small = parametric_block_scenario(12, 3, edge=2)
+        large = parametric_block_scenario(12, 3, edge=5)
+        rounds = {}
+        for scenario in (small, large):
+            info, blocks = converged_state(
+                scenario.mesh, scenario.schedule.initial_faults
+            )
+            rounds[scenario.name] = identify_block(info, blocks[0]).total_rounds
+        assert rounds[large.name] > rounds[small.name]
+
+        # Same block in a much larger mesh: round count unchanged.
+        same_small = parametric_block_scenario(20, 3, edge=2, origin=(5, 5, 5))
+        info, blocks = converged_state(
+            same_small.mesh, same_small.schedule.initial_faults
+        )
+        assert identify_block(info, blocks[0]).total_rounds == pytest.approx(
+            rounds[small.name], abs=2
+        )
+
+    def test_explicit_initialization_corner(self, mesh3d):
+        info, blocks = converged_state(mesh3d, FIGURE1_FAULTS)
+        # The paper's Figure 5 initiates at C(xmax, ymin, zmax) = (6, 4, 5).
+        protocol = IdentificationProtocol(
+            info, blocks[0], initialization_corner=(6, 4, 5)
+        )
+        assert protocol.opposite_corner == (2, 7, 2)
+        result = protocol.run()
+        assert result.stable
+        assert result.extent == FIGURE1_EXTENT
+
+    def test_invalid_initialization_corner_rejected(self, mesh3d):
+        info, blocks = converged_state(mesh3d, FIGURE1_FAULTS)
+        with pytest.raises(ValueError):
+            IdentificationProtocol(info, blocks[0], initialization_corner=(0, 0, 0))
+
+    def test_works_in_2d_and_4d(self):
+        for n_dims, radix, edge in ((2, 10, 3), (4, 6, 2)):
+            scenario = parametric_block_scenario(radix, n_dims, edge=edge)
+            info, blocks = converged_state(
+                scenario.mesh, scenario.schedule.initial_faults
+            )
+            result = identify_block(info, blocks[0])
+            assert result.stable
+            assert result.extent == scenario.expected_extents[0]
+
+    def test_instability_when_block_grows_mid_identification(self, mesh3d):
+        """A fault appearing on the frame while identifying aborts the process."""
+        info, blocks = converged_state(mesh3d, FIGURE1_FAULTS)
+        block = blocks[0]
+        protocol = IdentificationProtocol(info, block)
+        protocol.round()
+        # A relay node on the frame (the opposite corner) turns faulty.
+        info.labeling.make_faulty(protocol.opposite_corner)
+        result = protocol.run()
+        assert not result.stable
+
+    def test_ttl_expiry_reports_unstable(self, mesh3d):
+        info, blocks = converged_state(mesh3d, FIGURE1_FAULTS)
+        protocol = IdentificationProtocol(info, blocks[0], ttl=1)
+        result = protocol.run()
+        assert not result.stable
+
+    def test_version_is_stamped(self, mesh3d):
+        info, blocks = converged_state(mesh3d, FIGURE1_FAULTS)
+        result = identify_block(info, blocks[0], version=7)
+        assert result.version == 7
+        record = next(iter(info.blocks_known_at(blocks[0].corners(mesh3d)[0])))
+        assert record.version == 7

@@ -1,0 +1,78 @@
+"""Unit tests for link-fault handling (treated as node faults, per the paper)."""
+
+import pytest
+
+from repro.core.block_construction import build_blocks
+from repro.core.distribution import distribute_information
+from repro.core.routing import route_offline
+from repro.faults.links import LinkFault, LinkFaultSet, endpoints_as_node_faults
+from repro.mesh.topology import Mesh
+
+
+class TestLinkFault:
+    def test_requires_adjacent_endpoints(self):
+        with pytest.raises(ValueError):
+            LinkFault((0, 0), (2, 0))
+        with pytest.raises(ValueError):
+            LinkFault((0, 0), (0, 0))
+
+    def test_canonical_is_order_independent(self):
+        assert LinkFault((1, 0), (0, 0)).canonical == LinkFault((0, 0), (1, 0)).canonical
+
+
+class TestLinkFaultSet:
+    def test_membership(self):
+        faults = LinkFaultSet.of([((2, 2), (2, 3)), LinkFault((5, 5), (6, 5))])
+        assert len(faults) == 2
+        assert faults.is_faulty((2, 3), (2, 2))
+        assert faults.is_faulty((6, 5), (5, 5))
+        assert not faults.is_faulty((0, 0), (0, 1))
+
+    def test_duplicates_collapse(self):
+        faults = LinkFaultSet.of([((2, 2), (2, 3)), ((2, 3), (2, 2))])
+        assert len(faults) == 1
+
+
+class TestEndpointsAsNodeFaults:
+    def test_one_node_per_link(self, mesh2d):
+        node_faults = endpoints_as_node_faults(
+            mesh2d, [((4, 4), (4, 5)), ((7, 2), (8, 2))]
+        )
+        assert len(node_faults) == 2
+        # Each returned node is an endpoint of its link.
+        assert node_faults[0] in {(4, 4), (4, 5)}
+        assert node_faults[1] in {(7, 2), (8, 2)}
+
+    def test_existing_fault_reused(self, mesh2d):
+        node_faults = endpoints_as_node_faults(
+            mesh2d, [((4, 4), (4, 5))], existing_node_faults=[(4, 5)]
+        )
+        assert node_faults == []
+
+    def test_prefers_interior_endpoint(self, mesh2d):
+        # Link between a surface node and an interior node: pick the interior one.
+        node_faults = endpoints_as_node_faults(mesh2d, [((0, 4), (1, 4))])
+        assert node_faults == [(1, 4)]
+
+    def test_adjacent_links_coalesce(self, mesh2d):
+        # Two links sharing the region around (5,5): the chosen nodes should
+        # be adjacent so the labeling builds a single block.
+        links = [((5, 5), (5, 6)), ((6, 5), (6, 6)), ((5, 6), (6, 6))]
+        node_faults = endpoints_as_node_faults(mesh2d, links)
+        result = build_blocks(mesh2d, node_faults)
+        assert len(result.blocks) == 1
+
+    def test_routing_avoids_link_fault_region(self, mesh2d):
+        links = [((5, 4), (5, 5)), ((4, 5), (5, 5)), ((5, 5), (6, 5))]
+        node_faults = endpoints_as_node_faults(mesh2d, links)
+        labeling = build_blocks(mesh2d, node_faults).state
+        info = distribute_information(mesh2d, labeling)
+        route = route_offline(info, (0, 0), (9, 9))
+        assert route.delivered
+        # The route never uses a faulty link (both endpoints of every hop are
+        # operational, which implies no faulty link is traversed under the
+        # node-fault mapping).
+        fault_set = LinkFaultSet.of(links)
+        faulty_nodes = set(labeling.faulty_nodes)
+        for u, v in zip(route.path, route.path[1:]):
+            assert u not in faulty_nodes and v not in faulty_nodes

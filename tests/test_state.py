@@ -1,0 +1,85 @@
+"""Unit tests for the per-node information state."""
+
+import pytest
+
+from repro.core.block_construction import LabelingState
+from repro.core.state import BlockRecord, BoundaryInfo, InformationState
+from repro.faults.status import NodeStatus
+from repro.mesh.regions import Region
+from repro.mesh.topology import Mesh
+
+
+@pytest.fixture
+def info(mesh2d) -> InformationState:
+    return InformationState.fresh(mesh2d, faults=[(4, 4)])
+
+
+class TestRecords:
+    def test_block_record_hashable_and_versioned(self):
+        a = BlockRecord(Region((1, 1), (2, 2)), version=1)
+        b = BlockRecord(Region((1, 1), (2, 2)), version=1)
+        assert a == b and hash(a) == hash(b)
+        assert a != BlockRecord(Region((1, 1), (2, 2)), version=2)
+
+    def test_boundary_info_validation(self):
+        with pytest.raises(ValueError):
+            BoundaryInfo(Region((1, 1), (2, 2)), dim=0, dangerous_side=0)
+        with pytest.raises(ValueError):
+            BoundaryInfo(Region((1, 1), (2, 2)), dim=5, dangerous_side=1)
+
+
+class TestInformationState:
+    def test_fresh_has_faults_and_no_records(self, info):
+        assert info.status((4, 4)) is NodeStatus.FAULTY
+        assert info.information_cells() == 0
+        assert info.nodes_holding_information() == set()
+
+    def test_add_block_info_deduplicates(self, info):
+        record = BlockRecord(Region((4, 4), (4, 4)))
+        assert info.add_block_info((3, 4), record)
+        assert not info.add_block_info((3, 4), record)
+        assert info.blocks_known_at((3, 4)) == frozenset({record})
+        assert info.has_block_info((3, 4), record.extent)
+        assert not info.has_block_info((0, 0), record.extent)
+
+    def test_add_boundary_deduplicates(self, info):
+        boundary = BoundaryInfo(Region((4, 4), (4, 4)), dim=0, dangerous_side=-1)
+        assert info.add_boundary((3, 3), boundary)
+        assert not info.add_boundary((3, 3), boundary)
+        assert info.boundaries_at((3, 3)) == frozenset({boundary})
+
+    def test_information_cells_counts_both_kinds(self, info):
+        info.add_block_info((3, 4), BlockRecord(Region((4, 4), (4, 4))))
+        info.add_boundary(
+            (3, 3), BoundaryInfo(Region((4, 4), (4, 4)), dim=0, dangerous_side=-1)
+        )
+        assert info.information_cells() == 2
+        assert info.nodes_holding_information() == {(3, 4), (3, 3)}
+
+    def test_cancel_stale_removes_dead_extents(self, info):
+        live = Region((4, 4), (4, 4))
+        dead = Region((7, 7), (8, 8))
+        info.add_block_info((3, 4), BlockRecord(live))
+        info.add_block_info((6, 7), BlockRecord(dead))
+        info.add_boundary((6, 6), BoundaryInfo(dead, dim=0, dangerous_side=-1))
+        removed = info.cancel_stale([live])
+        assert removed == 2
+        assert info.blocks_known_at((6, 7)) == frozenset()
+        assert info.boundaries_at((6, 6)) == frozenset()
+        assert info.blocks_known_at((3, 4))
+
+    def test_clear_information(self, info):
+        info.add_block_info((3, 4), BlockRecord(Region((4, 4), (4, 4))))
+        info.clear_information()
+        assert info.information_cells() == 0
+        # labeling untouched
+        assert info.status((4, 4)) is NodeStatus.FAULTY
+
+    def test_bump_version(self, info):
+        assert info.version == 0
+        assert info.bump_version() == 1
+        assert info.bump_version() == 2
+
+    def test_add_info_validates_node(self, info):
+        with pytest.raises(ValueError):
+            info.add_block_info((99, 99), BlockRecord(Region((4, 4), (4, 4))))
