@@ -8,6 +8,11 @@ degrades much faster as faults accumulate.  The static faulty-block
 predecessor (adjacent-only information, Wu ICPP 2000) sits in between,
 which isolates the contribution of boundary propagation (the ablation
 called out in DESIGN.md).
+
+The tables route through :mod:`repro.experiments`: each row set is one
+offline-mode :class:`ExperimentSpec` over the fault-count axis, every
+policy column sharing the same per-cell fault layout and traffic.  The
+timed section measures the routing hot path over a prebuilt configuration.
 """
 
 import numpy as np
@@ -15,6 +20,7 @@ from _common import print_table
 
 from repro.analysis.metrics import compare_policies
 from repro.core.block_construction import build_blocks
+from repro.experiments import ExperimentSpec, run_batch
 from repro.faults.injection import clustered_faults, uniform_random_faults
 from repro.mesh.topology import Mesh
 from repro.workloads.traffic import random_pairs
@@ -42,19 +48,29 @@ def _one_row(mesh, fault_count, seed, messages=20):
     return compare_policies(mesh, labeling, pairs)
 
 
+def _detour_batch(name, shape, fault_counts, messages):
+    spec = ExperimentSpec(
+        name=name,
+        mode="offline",
+        mesh_shapes=(shape,),
+        policies=POLICIES,
+        fault_counts=fault_counts,
+        traffic_sizes=(messages,),
+    )
+    return spec, run_batch(spec)
+
+
 def test_table_detours_2d(benchmark):
     mesh = Mesh.cube(16, 2)
-    comparison = benchmark(_one_row, mesh, 16, seed=11)
+    benchmark(_one_row, mesh, 16, seed=11)
 
-    rows = []
-    collected = {}
-    for fault_count in (4, 8, 16, 24, 32):
-        result = _one_row(mesh, fault_count, seed=100 + fault_count)
-        collected[fault_count] = result
-        detours = result.row("mean_detours")
-        rows.append(
-            (fault_count, *[f"{detours[p]:.2f}" for p in POLICIES])
-        )
+    spec, batch = _detour_batch("table-d1a", (16, 16), (4, 8, 16, 24, 32), 20)
+    detours = batch.pivot("mean_detours", rows="faults")
+    delivery = batch.pivot("delivery_rate", rows="faults")
+    rows = [
+        (count, *[f"{detours[count][p]:.2f}" for p in POLICIES])
+        for count in spec.fault_counts
+    ]
     print_table(
         "Table D1a: mean detours vs fault count (16x16 mesh)",
         ["faults", *POLICIES],
@@ -62,33 +78,33 @@ def test_table_detours_2d(benchmark):
     )
 
     # Shape assertions: global <= limited-global <= no-information on average.
-    for result in collected.values():
-        detours = result.row("mean_detours")
-        assert detours["global-information"] <= detours["limited-global"] + 1e-9
-        assert detours["limited-global"] <= detours["no-information"] + 1e-9
-        assert all(s.delivery_rate == 1.0 for s in result.summaries.values())
+    for count in spec.fault_counts:
+        assert detours[count]["global-information"] <= detours[count]["limited-global"] + 1e-9
+        assert detours[count]["limited-global"] <= detours[count]["no-information"] + 1e-9
+        assert all(rate == 1.0 for rate in delivery[count].values())
 
 
 def test_table_detours_3d(benchmark):
     mesh = Mesh.cube(10, 3)
     comparison = benchmark(_one_row, mesh, 12, seed=21, messages=12)
 
-    rows = []
-    for fault_count in (8, 16, 32):
-        result = _one_row(mesh, fault_count, seed=200 + fault_count, messages=16)
-        detours = result.row("mean_detours")
-        backtracks = result.row("mean_backtracks")
-        rows.append(
-            (
-                fault_count,
-                *[f"{detours[p]:.2f}" for p in POLICIES],
-                f"{backtracks['no-information']:.2f}",
-            )
+    spec, batch = _detour_batch("table-d1b", (10, 10, 10), (8, 16, 32), 16)
+    detours = batch.pivot("mean_detours", rows="faults")
+    backtracks = batch.pivot("mean_backtracks", rows="faults")
+    rows = [
+        (
+            count,
+            *[f"{detours[count][p]:.2f}" for p in POLICIES],
+            f"{backtracks[count]['no-information']:.2f}",
         )
+        for count in spec.fault_counts
+    ]
     print_table(
         "Table D1b: mean detours vs fault count (10^3 mesh)",
         ["faults", *POLICIES, "no-info backtracks"],
         rows,
     )
-    detours = comparison.row("mean_detours")
-    assert detours["limited-global"] <= detours["no-information"] + 1e-9
+    timed = comparison.row("mean_detours")
+    assert timed["limited-global"] <= timed["no-information"] + 1e-9
+    for count in spec.fault_counts:
+        assert detours[count]["global-information"] <= detours[count]["limited-global"] + 1e-9

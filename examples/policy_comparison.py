@@ -8,46 +8,45 @@ at adjacent nodes only, Wu ICPP 2000) and the global-information ideal — and
 prints the mean-detour table.  This is the offline (stabilized-information)
 counterpart of the dynamic experiment in ``dynamic_fault_routing.py``.
 
+The sweep is expressed as one declarative :class:`ExperimentSpec` per mesh
+and executed through :func:`repro.experiments.run_batch`; every policy
+column of a row shares the same fault layout and traffic by construction.
+The same tables can be produced from the command line::
+
+    repro-mesh sweep --mode offline --shape 16,16 --faults 4,8,16,24 \
+        --policies limited-global,static-block,no-information,global-information
+
 Run with::
 
     python examples/policy_comparison.py
 """
 
-import numpy as np
-
-from repro.analysis.metrics import compare_policies
-from repro.core.block_construction import build_blocks
-from repro.faults.injection import clustered_faults, uniform_random_faults
-from repro.mesh.topology import Mesh
-from repro.workloads.traffic import random_pairs
+from repro.experiments import ExperimentSpec, run_batch
 
 POLICIES = ("limited-global", "static-block", "no-information", "global-information")
 
 
-def run_sweep(n_dims: int, radix: int, fault_counts, *, messages: int = 24) -> None:
+def run_sweep(n_dims: int, radix: int, fault_counts, *, messages: int = 24, workers: int = 1) -> None:
+    spec = ExperimentSpec(
+        name=f"policy-comparison-{n_dims}d",
+        mode="offline",
+        mesh_shapes=(tuple([radix] * n_dims),),
+        policies=POLICIES,
+        fault_counts=tuple(fault_counts),
+        traffic_sizes=(messages,),
+    )
+    batch = run_batch(spec, workers=workers)
+    detours = batch.pivot("mean_detours", rows="faults")
+    delivery = batch.pivot("delivery_rate", rows="faults")
+
     print(f"\n=== {radix}^{n_dims} mesh, {messages} random messages per row ===")
     header = f"{'faults':>7} | " + " | ".join(f"{p:>19}" for p in POLICIES)
     print(header)
     print("-" * len(header))
-    for count in fault_counts:
-        rng = np.random.default_rng(100 + count)
-        mesh = Mesh.cube(radix, n_dims)
-        # Half the faults clustered (producing a sizable block), half spread.
-        faults = clustered_faults(mesh, count // 2, rng, spread=2)
-        faults += uniform_random_faults(mesh, count - count // 2, rng, exclude=faults)
-        labeling = build_blocks(mesh, faults).state
-        pairs = random_pairs(
-            mesh,
-            messages,
-            rng,
-            min_distance=mesh.diameter // 2,
-            exclude=list(labeling.block_nodes),
-        )
-        comparison = compare_policies(mesh, labeling, pairs)
-        detours = comparison.row("mean_detours")
-        delivery = comparison.row("delivery_rate")
+    for count in spec.fault_counts:
         cells = " | ".join(
-            f"{detours[p]:>8.2f} ({delivery[p] * 100:>5.1f}%)" for p in POLICIES
+            f"{detours[count][p]:>8.2f} ({delivery[count][p] * 100:>5.1f}%)"
+            for p in POLICIES
         )
         print(f"{count:>7} | {cells}")
     print("(cells: mean detours and delivery rate)")

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction library.
 
-Four subcommands cover the workflows the experiments use:
+Five subcommands cover the workflows the experiments use:
 
 * ``repro-mesh route``       — route one source/destination pair against a
   static fault set, under any policy;
@@ -8,7 +8,13 @@ Four subcommands cover the workflows the experiments use:
   randomized dynamic-fault scenario and print the summary;
 * ``repro-mesh compare``     — the policy-comparison table for a randomized
   static configuration;
-* ``repro-mesh convergence`` — measure a/b/c for a parametric block.
+* ``repro-mesh convergence`` — measure a/b/c for a parametric block;
+* ``repro-mesh sweep``       — run a declarative experiment grid through
+  :mod:`repro.experiments`, optionally across worker processes, and emit
+  canonical JSON.
+
+The mesh is either the uniform ``--radix``/``--dims`` cube or an explicit
+rectangular ``--shape 16,8,4`` (the two options are mutually exclusive).
 
 The CLI is intentionally a thin veneer over the public API so that every
 number it prints can also be obtained programmatically.
@@ -29,6 +35,13 @@ from repro.core.block_construction import build_blocks
 from repro.core.distribution import distribute_information
 from repro.core.routing import RoutingPolicy, route_offline
 from repro.core.state import InformationState
+from repro.experiments import (
+    MODES,
+    OFFLINE_POLICIES,
+    SIMULATE_POLICIES,
+    ExperimentSpec,
+    run_batch,
+)
 from repro.faults.injection import uniform_random_faults
 from repro.mesh.topology import Mesh
 from repro.simulator.engine import SimulationConfig, Simulator
@@ -36,6 +49,9 @@ from repro.workloads.scenarios import parametric_block_scenario, random_dynamic_
 from repro.workloads.traffic import random_pairs
 
 Coord = Tuple[int, ...]
+
+DEFAULT_RADIX = 10
+DEFAULT_DIMS = 3
 
 
 def _parse_coord(text: str, n_dims: int) -> Coord:
@@ -51,10 +67,69 @@ def _parse_faults(texts: Sequence[str], n_dims: int) -> List[Coord]:
     return [_parse_coord(t, n_dims) for t in texts]
 
 
+def _parse_shape(text: str) -> Tuple[int, ...]:
+    parts = [p for p in text.replace("(", "").replace(")", "").split(",") if p.strip()]
+    if not parts:
+        raise argparse.ArgumentTypeError(f"empty mesh shape {text!r}")
+    try:
+        shape = tuple(int(p) for p in parts)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid mesh shape {text!r}")
+    if any(s < 2 for s in shape):
+        raise argparse.ArgumentTypeError(
+            f"every dimension needs radix >= 2, got {shape}"
+        )
+    return shape
+
+
+def _parse_int_list(text: str) -> Tuple[int, ...]:
+    try:
+        return tuple(int(p) for p in text.split(",") if p.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated integers, got {text!r}")
+
+
 def _add_mesh_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--radix", type=int, default=10, help="nodes per dimension (k)")
-    parser.add_argument("--dims", type=int, default=3, help="mesh dimensionality (n)")
+    parser.add_argument(
+        "--radix", type=int, default=None,
+        help=f"nodes per dimension (k, default {DEFAULT_RADIX})",
+    )
+    parser.add_argument(
+        "--dims", type=int, default=None,
+        help=f"mesh dimensionality (n, default {DEFAULT_DIMS})",
+    )
+    parser.add_argument(
+        "--shape", default=None,
+        help="rectangular mesh shape, e.g. 16,8,4 (mutually exclusive with --radix/--dims)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def _resolve_shapes(
+    shapes: Sequence[str],
+    radix: Optional[int],
+    dims: Optional[int],
+) -> Tuple[Tuple[int, ...], ...]:
+    """Resolve --shape vs --radix/--dims; the two styles are exclusive."""
+    if shapes:
+        if radix is not None or dims is not None:
+            raise argparse.ArgumentTypeError(
+                "--shape is mutually exclusive with --radix/--dims"
+            )
+        return tuple(_parse_shape(s) for s in shapes)
+    radix = radix if radix is not None else DEFAULT_RADIX
+    dims = dims if dims is not None else DEFAULT_DIMS
+    return (tuple([radix] * dims),)
+
+
+def _mesh_shape_from_args(args: argparse.Namespace) -> Tuple[int, ...]:
+    shapes = [args.shape] if args.shape is not None else []
+    (shape,) = _resolve_shapes(shapes, args.radix, args.dims)
+    return shape
+
+
+def _mesh_from_args(args: argparse.Namespace) -> Mesh:
+    return Mesh(_mesh_shape_from_args(args))
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -92,15 +167,41 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_mesh_arguments(convergence)
     convergence.add_argument("--edge", type=int, default=3, help="block edge length")
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a declarative experiment grid (repro.experiments) and emit JSON",
+    )
+    sweep.add_argument(
+        "--shape", action="append", default=None,
+        help="mesh shape, e.g. 16,8,4 (repeatable; mutually exclusive with --radix/--dims)",
+    )
+    sweep.add_argument("--radix", type=int, default=None, help="uniform mesh radix")
+    sweep.add_argument("--dims", type=int, default=None, help="uniform mesh dimensionality")
+    sweep.add_argument("--mode", choices=MODES, default="simulate")
+    sweep.add_argument(
+        "--policies", default="limited-global",
+        help="comma-separated policy names "
+        f"(simulate: {','.join(SIMULATE_POLICIES)}; offline also: "
+        f"{','.join(p for p in OFFLINE_POLICIES if p not in SIMULATE_POLICIES)})",
+    )
+    sweep.add_argument("--faults", type=_parse_int_list, default=(4,), help="fault counts, e.g. 4,8")
+    sweep.add_argument("--interval", type=_parse_int_list, default=(10,), help="steps between faults (d_i)")
+    sweep.add_argument("--lam", type=_parse_int_list, default=(2,), help="information rounds per step (λ)")
+    sweep.add_argument("--messages", type=_parse_int_list, default=(12,), help="routing messages per cell")
+    sweep.add_argument("--seeds", type=_parse_int_list, default=(0,), help="replicate seeds, e.g. 0,1,2")
+    sweep.add_argument("--workers", type=int, default=1, help="worker processes (1 = serial)")
+    sweep.add_argument("--name", default="sweep", help="spec name (seeds the cell derivation)")
+    sweep.add_argument("--out", default=None, help="write JSON here instead of stdout")
+
     return parser
 
 
 def _cmd_route(args: argparse.Namespace) -> int:
-    mesh = Mesh.cube(args.radix, args.dims)
+    mesh = _mesh_from_args(args)
     rng = np.random.default_rng(args.seed)
-    source = _parse_coord(args.source, args.dims)
-    destination = _parse_coord(args.destination, args.dims)
-    faults = _parse_faults(args.fault, args.dims)
+    source = _parse_coord(args.source, mesh.n_dims)
+    destination = _parse_coord(args.destination, mesh.n_dims)
+    faults = _parse_faults(args.fault, mesh.n_dims)
     if args.random_faults:
         faults += uniform_random_faults(
             mesh, args.random_faults, rng, exclude=[source, destination, *faults]
@@ -129,8 +230,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     scenario = random_dynamic_scenario(
-        radix=args.radix,
-        n_dims=args.dims,
+        shape=_mesh_shape_from_args(args),
         dynamic_faults=args.faults,
         interval=args.interval,
         messages=args.messages,
@@ -151,7 +251,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
-    mesh = Mesh.cube(args.radix, args.dims)
+    mesh = _mesh_from_args(args)
     faults = uniform_random_faults(mesh, args.faults, rng)
     labeling = build_blocks(mesh, faults).state
     pairs = random_pairs(
@@ -173,7 +273,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_convergence(args: argparse.Namespace) -> int:
-    scenario = parametric_block_scenario(args.radix, args.dims, edge=args.edge)
+    scenario = parametric_block_scenario(
+        edge=args.edge, shape=_mesh_shape_from_args(args)
+    )
     extent = scenario.expected_extents[0]
     measurement = measure_convergence(scenario.mesh, list(extent.iter_points()))
     print(f"mesh {scenario.mesh}, block edge {args.edge} ({extent.lo}..{extent.hi})")
@@ -184,11 +286,44 @@ def _cmd_convergence(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    shapes = _resolve_shapes(args.shape or [], args.radix, args.dims)
+    try:
+        spec = ExperimentSpec(
+            name=args.name,
+            mode=args.mode,
+            mesh_shapes=shapes,
+            policies=tuple(p.strip() for p in args.policies.split(",") if p.strip()),
+            fault_counts=args.faults,
+            fault_intervals=args.interval,
+            lams=args.lam,
+            traffic_sizes=args.messages,
+            seeds=args.seeds,
+        )
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    print(
+        f"sweep {spec.name!r}: {spec.cell_count} cells, mode={spec.mode}, "
+        f"workers={max(args.workers, 1)}",
+        file=sys.stderr,
+    )
+    batch = run_batch(spec, workers=args.workers)
+    payload = batch.to_json()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {len(batch)} cell results to {args.out}", file=sys.stderr)
+    else:
+        print(payload)
+    return 0
+
+
 _COMMANDS = {
     "route": _cmd_route,
     "simulate": _cmd_simulate,
     "compare": _cmd_compare,
     "convergence": _cmd_convergence,
+    "sweep": _cmd_sweep,
 }
 
 

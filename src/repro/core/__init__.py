@@ -56,6 +56,7 @@ from repro.core.routing import (
     RoutingPolicy,
     RoutingProbe,
     classify_directions,
+    probe_step_limit,
     route_offline,
     routing_decision,
 )
@@ -99,6 +100,7 @@ __all__ = [
     "minimal_path_exists",
     "opposite_prism",
     "oracle_identify",
+    "probe_step_limit",
     "route_offline",
     "routing_decision",
     "run_block_construction",

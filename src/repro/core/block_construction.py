@@ -35,12 +35,24 @@ DEFAULT_MAX_ROUNDS = 10_000
 class LabelingState:
     """Per-node status map for the labeling scheme.
 
-    Only non-enabled nodes are stored explicitly; every other node is
-    implicitly :attr:`NodeStatus.ENABLED`.
+    Statuses live in a flat array indexed by :meth:`Mesh.index_of` (row-major
+    linear index), so the routing hot path's status lookups avoid tuple
+    hashing; the indices of non-enabled nodes are tracked on the side, since
+    only those (and their neighbors) participate in the labeling rounds.
     """
 
     mesh: Mesh
-    _status: Dict[Coord, NodeStatus] = field(default_factory=dict)
+    _statuses: List[NodeStatus] = field(default_factory=list)
+    _non_enabled: Set[int] = field(default_factory=set)
+
+    #: Count of effective status changes; lets observers (e.g. the
+    #: identification protocol) cache derived views and re-derive them only
+    #: when the labeling actually moved.
+    mutations: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self._statuses:
+            self._statuses = [NodeStatus.ENABLED] * self.mesh.size
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -55,22 +67,44 @@ class LabelingState:
 
     def copy(self) -> "LabelingState":
         """Deep copy of the state (statuses are immutable enum members)."""
-        return LabelingState(mesh=self.mesh, _status=dict(self._status))
+        return LabelingState(
+            mesh=self.mesh,
+            _statuses=list(self._statuses),
+            _non_enabled=set(self._non_enabled),
+            mutations=self.mutations,
+        )
 
     # ------------------------------------------------------------------ #
     # status access
     # ------------------------------------------------------------------ #
     def status(self, node: Sequence[int]) -> NodeStatus:
-        """Current status of ``node`` (enabled when never recorded)."""
-        return self._status.get(tuple(node), NodeStatus.ENABLED)
+        """Current status of ``node`` (enabled when never recorded).
+
+        Coordinates outside the mesh (wrong rank included) read as enabled,
+        matching the historic "never recorded" semantics.
+        """
+        shape = self.mesh.shape
+        if len(node) != len(shape):
+            return NodeStatus.ENABLED
+        idx = 0
+        for c, s in zip(node, shape):
+            if 0 <= c < s:
+                idx = idx * s + c
+            else:
+                return NodeStatus.ENABLED
+        return self._statuses[idx]
 
     def set_status(self, node: Sequence[int], status: NodeStatus) -> None:
         """Set ``node``'s status, dropping the entry when it becomes enabled."""
-        node = self.mesh.validate(node)
+        idx = self.mesh.index_of(node)
+        if self._statuses[idx] is status:
+            return
+        self._statuses[idx] = status
         if status is NodeStatus.ENABLED:
-            self._status.pop(node, None)
+            self._non_enabled.discard(idx)
         else:
-            self._status[node] = status
+            self._non_enabled.add(idx)
+        self.mutations += 1
 
     def make_faulty(self, node: Sequence[int]) -> None:
         """Mark ``node`` faulty (a new fault occurrence)."""
@@ -90,7 +124,8 @@ class LabelingState:
         """All nodes currently holding ``status`` (not usable for ENABLED)."""
         if status is NodeStatus.ENABLED:
             raise ValueError("enabled nodes are implicit; enumerate the mesh instead")
-        return {n for n, s in self._status.items() if s is status}
+        coord_of = self.mesh.coord_of
+        return {coord_of(i) for i in self._non_enabled if self._statuses[i] is status}
 
     @property
     def faulty_nodes(self) -> Set[Coord]:
@@ -110,11 +145,13 @@ class LabelingState:
     @property
     def block_nodes(self) -> Set[Coord]:
         """Faulty and disabled nodes (the members of faulty blocks)."""
-        return {n for n, s in self._status.items() if s.in_block}
+        coord_of = self.mesh.coord_of
+        return {coord_of(i) for i in self._non_enabled if self._statuses[i].in_block}
 
     def non_enabled_nodes(self) -> Dict[Coord, NodeStatus]:
         """Mapping of every explicitly-tracked (non-enabled) node."""
-        return dict(self._status)
+        coord_of = self.mesh.coord_of
+        return {coord_of(i): self._statuses[i] for i in sorted(self._non_enabled)}
 
     def is_operational(self, node: Sequence[int]) -> bool:
         """True iff ``node`` is not faulty."""

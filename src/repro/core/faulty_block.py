@@ -19,6 +19,7 @@ geometry that the identification, boundary and routing components need:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.mesh.directions import Direction, direction_from_surface, opposite_surface
@@ -28,17 +29,10 @@ from repro.mesh.topology import Mesh
 Coord = Tuple[int, ...]
 
 
-def dangerous_prism_of_extent(
-    extent: Region, mesh: Mesh, dim: int, side: int
+@lru_cache(maxsize=65536)
+def _dangerous_prism_cached(
+    extent: Region, shape: Tuple[int, ...], dim: int, side: int
 ) -> Optional[Region]:
-    """The dangerous area of a block with the given ``extent``.
-
-    Standalone version of :meth:`FaultyBlock.dangerous_prism` usable with a
-    bare extent (as carried by block/boundary information records) without
-    materializing the block's node set.
-    """
-    if side not in (-1, +1):
-        raise ValueError("side must be ±1")
     lo = list(extent.lo)
     hi = list(extent.hi)
     if side < 0:
@@ -46,10 +40,27 @@ def dangerous_prism_of_extent(
         lo[dim] = 0
     else:
         lo[dim] = extent.hi[dim] + 1
-        hi[dim] = mesh.shape[dim] - 1
+        hi[dim] = shape[dim] - 1
     if lo[dim] > hi[dim]:
         return None
-    return mesh.clip_region(Region(tuple(lo), tuple(hi)))
+    mesh_extent = Region(tuple([0] * len(shape)), tuple(s - 1 for s in shape))
+    return Region(tuple(lo), tuple(hi)).intersection(mesh_extent)
+
+
+def dangerous_prism_of_extent(
+    extent: Region, mesh: Mesh, dim: int, side: int
+) -> Optional[Region]:
+    """The dangerous area of a block with the given ``extent``.
+
+    Standalone version of :meth:`FaultyBlock.dangerous_prism` usable with a
+    bare extent (as carried by block/boundary information records) without
+    materializing the block's node set.  The geometry only depends on
+    ``(extent, mesh shape, dim, side)``, so results are memoized — the
+    routing hot path resolves the same prisms at every hop.
+    """
+    if side not in (-1, +1):
+        raise ValueError("side must be ±1")
+    return _dangerous_prism_cached(extent, mesh.shape, dim, side)
 
 
 @dataclass(frozen=True)

@@ -148,6 +148,10 @@ class IdentificationProtocol:
         self._active: Set[Coord] = set()
         self._distribution_front: Set[Coord] = set()
         self._informed: Set[Coord] = set()
+        #: node -> (labeling mutation stamp, observed extent); observations
+        #: only change when the labeling does, so re-observing each round is
+        #: wasted work while the labeling is stable.
+        self._observed_cache: Dict[Coord, Tuple[int, Optional[Region]]] = {}
 
         self._phase = "identify"
         self._identification_rounds = 0
@@ -195,17 +199,22 @@ class IdentificationProtocol:
         proportional to the block perimeter without tracking the per-section
         sub-messages explicitly.
         """
+        labeling = self.state.labeling
+        stamp = labeling.mutations
+        cached = self._observed_cache.get(node)
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
         members = []
         lo = tuple(c - 1 for c in node)
         hi = tuple(c + 1 for c in node)
-        for candidate in Region(lo, hi).iter_points():
-            if candidate == node or not self.mesh.contains(candidate):
-                continue
-            if self.state.labeling.status(candidate).in_block:
-                members.append(candidate)
-        if not members:
-            return None
-        return Region.from_points(members)
+        neighborhood = self.mesh.clip_region(Region(lo, hi))
+        if neighborhood is not None:
+            for candidate in neighborhood.iter_points():
+                if candidate != node and labeling.status(candidate).in_block:
+                    members.append(candidate)
+        extent = Region.from_points(members) if members else None
+        self._observed_cache[node] = (stamp, extent)
+        return extent
 
     def _merge(self, node: Coord, extent: Optional[Region]) -> None:
         if extent is None:

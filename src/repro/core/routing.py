@@ -33,13 +33,30 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum, IntEnum
-from typing import Dict, FrozenSet, Iterable, List, Optional, Protocol, Sequence, Set, Tuple
+from typing import (
+    AbstractSet,
+    ClassVar,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+)
 
-from repro.core.faulty_block import dangerous_prism_of_extent
-from repro.core.state import BlockRecord, BoundaryInfo, InformationState
+from repro.core.state import (
+    BlockRecord,
+    BoundaryInfo,
+    ExtentFrame,
+    InformationState,
+    PrismPair,
+    resolve_routing_geometry,
+)
 from repro.faults.status import NodeStatus
 from repro.mesh.directions import Direction
-from repro.mesh.regions import Region
 from repro.mesh.topology import Mesh
 
 Coord = Tuple[int, ...]
@@ -93,7 +110,11 @@ class InformationProvider(Protocol):
     """What the routing decision needs to know at a node.
 
     :class:`repro.core.state.InformationState` satisfies this protocol; the
-    simulator provides a time-varying implementation.
+    simulator provides a time-varying implementation.  Providers may
+    additionally expose ``detour_constraints`` / ``known_extent_frames``
+    (see :class:`~repro.core.state.InformationState`) to serve the routing
+    geometry from a per-node cache; the classification falls back to
+    rebuilding it from the two record accessors otherwise.
     """
 
     mesh: Mesh
@@ -140,13 +161,19 @@ class ProbeHeader:
 
         return direction_between(self.stack[-2], self.stack[-1])
 
-    def used_at(self, node: Sequence[int]) -> Set[Direction]:
-        """Directions already used when forwarding from ``node``."""
-        return self.used.setdefault(tuple(node), set())
+    _EMPTY_USED: ClassVar[FrozenSet[Direction]] = frozenset()
+
+    def used_at(self, node: Sequence[int]) -> AbstractSet[Direction]:
+        """Directions already used when forwarding from ``node``.
+
+        Reading never mutates the header: a node a probe merely inspects
+        gets no entry.  :meth:`record_use` is the only writer.
+        """
+        return self.used.get(tuple(node), self._EMPTY_USED)
 
     def record_use(self, node: Sequence[int], direction: Direction) -> None:
         """Record that ``direction`` was used at ``node``."""
-        self.used_at(node).add(direction)
+        self.used.setdefault(tuple(node), set()).add(direction)
 
     def push(self, node: Sequence[int]) -> None:
         """Advance the probe onto ``node``."""
@@ -172,39 +199,33 @@ BACKTRACK = "backtrack"
 # ---------------------------------------------------------------------- #
 # direction classification
 # ---------------------------------------------------------------------- #
-def _known_extents(
+def _routing_geometry(
     info: InformationProvider, node: Coord, policy: RoutingPolicy
-) -> Set[Region]:
-    extents: Set[Region] = set()
-    if policy.use_block_info:
-        extents.update(r.extent for r in info.blocks_known_at(node))
-    if policy.use_boundary_info:
-        extents.update(b.extent for b in info.boundaries_at(node))
-    return extents
+) -> Tuple[Sequence[PrismPair], Sequence[ExtentFrame]]:
+    """Resolved detour constraints and extent frames known at ``node``.
 
+    Served from the provider's per-node cache when it has one
+    (:class:`~repro.core.state.InformationState` does); otherwise rebuilt
+    from the protocol's record accessors.
+    """
+    constraints_getter = getattr(info, "detour_constraints", None)
+    if constraints_getter is not None:
+        flags = dict(
+            use_block_info=policy.use_block_info,
+            use_boundary_info=policy.use_boundary_info,
+        )
+        return constraints_getter(node, **flags), info.known_extent_frames(node, **flags)
 
-def _detour_constraints(
-    info: InformationProvider, node: Coord, policy: RoutingPolicy
-) -> List[Tuple[Region, int, int]]:
-    """(extent, dim, dangerous_side) triples the node can check against."""
-    constraints: List[Tuple[Region, int, int]] = []
-    if policy.use_boundary_info:
-        for b in info.boundaries_at(node):
-            constraints.append((b.extent, b.dim, b.dangerous_side))
-    if policy.use_block_info:
-        for r in info.blocks_known_at(node):
-            for dim in range(r.extent.n_dims):
-                for side in (-1, +1):
-                    constraints.append((r.extent, dim, side))
-    return constraints
+    boundaries = info.boundaries_at(node) if policy.use_boundary_info else ()
+    blocks = info.blocks_known_at(node) if policy.use_block_info else ()
+    return resolve_routing_geometry(info.mesh, boundaries, blocks)
 
 
 def _is_detour_direction(
-    mesh: Mesh,
     node: Coord,
     destination: Coord,
     direction: Direction,
-    constraints: Iterable[Tuple[Region, int, int]],
+    constraints: Iterable[PrismPair],
 ) -> bool:
     """True iff moving in ``direction`` enters a dangerous area.
 
@@ -213,11 +234,7 @@ def _is_detour_direction(
     opposite prism, so every minimal path from inside the prism is cut.
     """
     nxt = direction.apply(node)
-    for extent, dim, side in constraints:
-        prism = dangerous_prism_of_extent(extent, mesh, dim, side)
-        target = dangerous_prism_of_extent(extent, mesh, dim, -side)
-        if prism is None or target is None:
-            continue
+    for prism, target in constraints:
         if prism.contains(nxt) and target.contains(destination):
             return True
     return False
@@ -230,7 +247,7 @@ def classify_directions(
     *,
     policy: RoutingPolicy,
     incoming: Optional[Direction] = None,
-    used: Optional[Set[Direction]] = None,
+    used: Optional[AbstractSet[Direction]] = None,
 ) -> List[Tuple[DirectionClass, Direction]]:
     """Classify and order every usable outgoing direction at ``node``.
 
@@ -242,9 +259,8 @@ def classify_directions(
     mesh = info.mesh
     node = tuple(node)
     destination = tuple(destination)
-    used = used or set()
-    extents = _known_extents(info, node, policy)
-    constraints = _detour_constraints(info, node, policy)
+    used = used or frozenset()
+    constraints, extent_frames = _routing_geometry(info, node, policy)
     preferred = set(mesh.preferred_directions(node, destination))
 
     entries: List[Tuple[DirectionClass, Tuple[int, int, int], Direction]] = []
@@ -260,14 +276,14 @@ def classify_directions(
         elif policy.avoid_known_disabled and neighbor_status is NodeStatus.DISABLED:
             cls = DirectionClass.DISABLED_NEIGHBOR
         elif direction in preferred:
-            if _is_detour_direction(mesh, node, destination, direction, constraints):
+            if _is_detour_direction(node, destination, direction, constraints):
                 cls = DirectionClass.PREFERRED_DETOUR
             else:
                 cls = DirectionClass.PREFERRED
         else:
             along_block = any(
-                extent.expand(1).contains(neighbor) and not extent.contains(neighbor)
-                for extent in extents
+                frame.contains(neighbor) and not extent.contains(neighbor)
+                for extent, frame in extent_frames
             )
             cls = DirectionClass.SPARE_ALONG_BLOCK if along_block else DirectionClass.SPARE
         remaining = abs(destination[direction.dim] - node[direction.dim])
@@ -309,6 +325,18 @@ def routing_decision(
 # ---------------------------------------------------------------------- #
 # probe driver
 # ---------------------------------------------------------------------- #
+def probe_step_limit(mesh: Mesh) -> int:
+    """Worst-case probe walk length for ``mesh``.
+
+    Every (node, direction) pair can be used at most once, each with a
+    matching backtrack, plus slack for the initial/terminal hops.  Both
+    :func:`route_offline` and the simulator's default probe lifetime derive
+    from this single helper so offline and simulated probes exhaust
+    consistently.
+    """
+    return 4 * mesh.size * mesh.n_dims + 4
+
+
 @dataclass
 class RouteResult:
     """Outcome and statistics of one routing process."""
@@ -432,7 +460,7 @@ def route_offline(
     """
     mesh = info.mesh
     probe = RoutingProbe(mesh, source, destination, policy=policy)
-    limit = max_steps if max_steps is not None else 4 * mesh.size * mesh.n_dims + 4
+    limit = max_steps if max_steps is not None else probe_step_limit(mesh)
     for _ in range(limit):
         if probe.step(info) is not None:
             break

@@ -26,10 +26,51 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.block_construction import LabelingState
+from repro.core.faulty_block import dangerous_prism_of_extent
 from repro.mesh.regions import Region
 from repro.mesh.topology import Mesh
 
 Coord = Tuple[int, ...]
+
+#: Resolved critical-routing constraint: (dangerous prism, opposite prism).
+PrismPair = Tuple[Region, Region]
+
+#: Known extent plus its one-hop frame (``extent.expand(1)``).
+ExtentFrame = Tuple[Region, Region]
+
+
+def resolve_routing_geometry(
+    mesh: Mesh,
+    boundaries: Iterable["BoundaryInfo"],
+    blocks: Iterable["BlockRecord"],
+) -> Tuple[Tuple[PrismPair, ...], Tuple[ExtentFrame, ...]]:
+    """Resolve records into the geometry the routing classification checks.
+
+    Returns the deduplicated (dangerous prism, opposite prism) pairs of
+    every record — boundary records contribute their single dimension/side,
+    block records every dimension and side — plus each known extent paired
+    with its one-hop frame.  Single source of truth for the derivation: the
+    per-node cache on :class:`InformationState` and the provider-agnostic
+    fallback in :mod:`repro.core.routing` both call it.
+    """
+    triples: List[Tuple[Region, int, int]] = []
+    extents: Set[Region] = set()
+    for b in boundaries:
+        triples.append((b.extent, b.dim, b.dangerous_side))
+        extents.add(b.extent)
+    for r in blocks:
+        extents.add(r.extent)
+        for dim in range(r.extent.n_dims):
+            for side in (-1, +1):
+                triples.append((r.extent, dim, side))
+    pairs: Dict[PrismPair, None] = {}
+    for extent, dim, side in triples:
+        prism = dangerous_prism_of_extent(extent, mesh, dim, side)
+        target = dangerous_prism_of_extent(extent, mesh, dim, -side)
+        if prism is not None and target is not None:
+            pairs[(prism, target)] = None
+    frames = tuple((e, e.expand(1)) for e in sorted(extents))
+    return tuple(pairs), frames
 
 
 @dataclass(frozen=True)
@@ -86,6 +127,15 @@ class InformationState:
     node_boundaries: Dict[Coord, Set[BoundaryInfo]] = field(default_factory=dict)
     version: int = 0
 
+    #: Per-node cache of the resolved routing geometry (detour constraints
+    #: and extent frames), invalidated whenever the node's records change.
+    #: The routing algorithm reads through :meth:`detour_constraints` /
+    #: :meth:`known_extent_frames` so it stops rebuilding dangerous prisms
+    #: at every hop.
+    _route_cache: Dict[
+        Coord, Dict[Tuple[bool, bool], Tuple[Tuple[PrismPair, ...], Tuple[ExtentFrame, ...]]]
+    ] = field(default_factory=dict, repr=False, compare=False)
+
     # ------------------------------------------------------------------ #
     # constructors
     # ------------------------------------------------------------------ #
@@ -111,6 +161,7 @@ class InformationState:
         if record in existing:
             return False
         existing.add(record)
+        self._route_cache.pop(node, None)
         return True
 
     def blocks_known_at(self, node: Sequence[int]) -> FrozenSet[BlockRecord]:
@@ -131,11 +182,61 @@ class InformationState:
         if info in existing:
             return False
         existing.add(info)
+        self._route_cache.pop(node, None)
         return True
 
     def boundaries_at(self, node: Sequence[int]) -> FrozenSet[BoundaryInfo]:
         """Boundary records currently held by ``node``."""
         return frozenset(self.node_boundaries.get(tuple(node), set()))
+
+    # ------------------------------------------------------------------ #
+    # cached routing geometry
+    # ------------------------------------------------------------------ #
+    def _route_entry(
+        self, node: Coord, use_block_info: bool, use_boundary_info: bool
+    ) -> Tuple[Tuple[PrismPair, ...], Tuple[ExtentFrame, ...]]:
+        per_node = self._route_cache.get(node)
+        if per_node is None:
+            per_node = self._route_cache[node] = {}
+        key = (use_block_info, use_boundary_info)
+        entry = per_node.get(key)
+        if entry is None:
+            boundaries = self.node_boundaries.get(node, ()) if use_boundary_info else ()
+            blocks = self.node_blocks.get(node, ()) if use_block_info else ()
+            entry = per_node[key] = resolve_routing_geometry(self.mesh, boundaries, blocks)
+        return entry
+
+    def detour_constraints(
+        self,
+        node: Sequence[int],
+        *,
+        use_block_info: bool = True,
+        use_boundary_info: bool = True,
+    ) -> Tuple[PrismPair, ...]:
+        """Resolved (dangerous prism, opposite prism) pairs known at ``node``.
+
+        This is the critical-routing geometry of every block/boundary record
+        the node holds, with the prisms already materialized; results are
+        cached per node and invalidated when the node's records change (or
+        wholesale on :meth:`cancel_stale` / :meth:`clear_information`), so a
+        probe re-deciding at the node does not rebuild prisms.
+        """
+        return self._route_entry(tuple(node), use_block_info, use_boundary_info)[0]
+
+    def known_extent_frames(
+        self,
+        node: Sequence[int],
+        *,
+        use_block_info: bool = True,
+        use_boundary_info: bool = True,
+    ) -> Tuple[ExtentFrame, ...]:
+        """Known block extents at ``node`` paired with their one-hop frames.
+
+        Cached alongside :meth:`detour_constraints`; the frame
+        (``extent.expand(1)``) is what the routing algorithm checks to rank
+        spare directions that walk along a known block.
+        """
+        return self._route_entry(tuple(node), use_block_info, use_boundary_info)[1]
 
     # ------------------------------------------------------------------ #
     # cancellation / garbage collection
@@ -149,6 +250,7 @@ class InformationState:
         """
         live = set(current_extents)
         removed = 0
+        self._route_cache.clear()
         for node in list(self.node_blocks):
             keep = {r for r in self.node_blocks[node] if r.extent in live}
             removed += len(self.node_blocks[node]) - len(keep)
@@ -169,6 +271,7 @@ class InformationState:
         """Drop every distributed record (labeling is kept)."""
         self.node_blocks.clear()
         self.node_boundaries.clear()
+        self._route_cache.clear()
 
     # ------------------------------------------------------------------ #
     # accounting

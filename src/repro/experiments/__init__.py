@@ -1,0 +1,42 @@
+"""Experiment orchestration: declarative grids, parallel runs, aggregation.
+
+The subsystem sits above the per-probe algorithms and the simulator, so
+whole fleets of scenarios can be swept, compared and persisted uniformly:
+
+* :mod:`repro.experiments.spec` — :class:`ExperimentSpec`, a declarative
+  grid over mesh shapes, fault counts/intervals, λ, routing policies,
+  traffic sizes and seeds, expanded into deterministic
+  :class:`ExperimentCell` items;
+* :mod:`repro.experiments.runner` — :func:`run_batch`, fanning the grid out
+  across processes with per-cell deterministic seeding (serial and parallel
+  runs produce identical results);
+* :mod:`repro.experiments.results` — :class:`BatchResult`, aggregating
+  per-cell metrics with canonical JSON export and pivot-table helpers.
+
+The ``repro-mesh sweep`` CLI subcommand, the comparison benchmarks and
+``examples/policy_comparison.py`` all route through this package.
+"""
+
+from repro.experiments.results import BatchResult, CellResult
+from repro.experiments.runner import run_batch, run_cell
+from repro.experiments.spec import (
+    MODES,
+    OFFLINE_POLICIES,
+    SIMULATE_POLICIES,
+    ExperimentCell,
+    ExperimentSpec,
+    derive_cell_seed,
+)
+
+__all__ = [
+    "BatchResult",
+    "CellResult",
+    "ExperimentCell",
+    "ExperimentSpec",
+    "MODES",
+    "OFFLINE_POLICIES",
+    "SIMULATE_POLICIES",
+    "derive_cell_seed",
+    "run_batch",
+    "run_cell",
+]

@@ -1,0 +1,110 @@
+"""Aggregation and export of experiment-batch results.
+
+A :class:`CellResult` pairs one :class:`~repro.experiments.spec.ExperimentCell`
+with the flat metric dictionary its run produced (delivery rate, detours,
+convergence rounds, ...).  A :class:`BatchResult` holds every cell result of
+one :func:`~repro.experiments.runner.run_batch` invocation and knows how to
+
+* export itself as canonical JSON (sorted keys, fixed cell order) — two runs
+  of the same spec produce byte-identical output regardless of worker count;
+* pivot any metric into rows/columns over cell attributes, which is what the
+  comparison tables in the benchmarks and examples are made of.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.spec import ExperimentCell, ExperimentSpec
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Metrics produced by running one experiment cell."""
+
+    cell: ExperimentCell
+    metrics: Dict[str, float]
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.cell.index,
+            "mode": self.cell.mode,
+            "shape": list(self.cell.shape),
+            "policy": self.cell.policy,
+            "faults": self.cell.faults,
+            "interval": self.cell.interval,
+            "lam": self.cell.lam,
+            "messages": self.cell.messages,
+            "seed": self.cell.seed,
+            "cell_seed": self.cell.cell_seed,
+            "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
+        }
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Every cell result of one batch run, in cell order."""
+
+    spec: ExperimentSpec
+    results: Tuple[CellResult, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "results", tuple(sorted(self.results, key=lambda r: r.cell.index))
+        )
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    # ------------------------------------------------------------------ #
+    # export
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "cells": [r.to_dict() for r in self.results],
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """Canonical JSON: sorted keys, cells in grid order.
+
+        Contains nothing run-dependent (no timestamps, no wall-clock), so
+        serial and parallel runs of the same spec serialize byte-identically.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    # ------------------------------------------------------------------ #
+    # table helpers
+    # ------------------------------------------------------------------ #
+    def select(self, **attrs: object) -> List[CellResult]:
+        """Cell results whose cell attributes match every given value."""
+        out = []
+        for result in self.results:
+            if all(getattr(result.cell, k) == v for k, v in attrs.items()):
+                out.append(result)
+        return out
+
+    def pivot(
+        self, metric: str, *, rows: str, cols: str = "policy"
+    ) -> Dict[object, Dict[object, float]]:
+        """Pivot ``metric`` into a ``{row_value: {col_value: mean}}`` table.
+
+        ``rows``/``cols`` name :class:`ExperimentCell` attributes (e.g.
+        ``"faults"``, ``"lam"``, ``"shape"``, ``"policy"``).  Cells sharing a
+        (row, col) coordinate — replicate seeds, say — are averaged.
+        """
+        sums: Dict[object, Dict[object, List[float]]] = {}
+        for result in self.results:
+            row = getattr(result.cell, rows)
+            col = getattr(result.cell, cols)
+            sums.setdefault(row, {}).setdefault(col, []).append(result.metrics[metric])
+        return {
+            row: {col: sum(vals) / len(vals) for col, vals in by_col.items()}
+            for row, by_col in sums.items()
+        }
+
+    def metric_values(self, metric: str) -> List[float]:
+        """The metric across every cell, in cell order."""
+        return [r.metrics[metric] for r in self.results]

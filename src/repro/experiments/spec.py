@@ -1,0 +1,178 @@
+"""Declarative experiment grids.
+
+An :class:`ExperimentSpec` describes a whole family of experiments as the
+cartesian product of its axes — mesh shapes, fault counts, fault intervals,
+λ values, routing policies, traffic sizes and replicate seeds.  The spec
+expands into a flat list of :class:`ExperimentCell` items that the runner
+(:mod:`repro.experiments.runner`) executes serially or across processes.
+
+Determinism is the core contract: every cell carries a *configuration seed*
+derived with a stable hash from the spec name and the cell's configuration
+axes.  The policy axis is deliberately **excluded** from the derivation, so
+cells that differ only in policy share the exact same mesh, fault layout and
+traffic — policy columns of a result table are directly comparable, and a
+batch produces identical results no matter how many workers ran it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Iterator, List, Sequence, Tuple
+
+#: Experiment modes: ``simulate`` runs the step-synchronous simulator with a
+#: dynamic fault schedule; ``offline`` routes a batch of messages against a
+#: fully stabilized information state.
+MODES = ("simulate", "offline")
+
+#: Policies available per mode (offline also has the ablation variants and
+#: the idealized baseline).
+SIMULATE_POLICIES = ("limited-global", "no-information")
+OFFLINE_POLICIES = (
+    "limited-global",
+    "static-block",
+    "boundary-only",
+    "no-disabled-avoid",
+    "no-information",
+    "global-information",
+)
+
+
+def derive_cell_seed(name: str, *parts: object) -> int:
+    """A deterministic 63-bit seed from the spec name and configuration axes.
+
+    Uses SHA-256 rather than :func:`hash` so the value is stable across
+    processes and interpreter runs (``PYTHONHASHSEED`` does not leak in).
+    """
+    text = "|".join([name, *[repr(p) for p in parts]])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One fully resolved grid point of an :class:`ExperimentSpec`."""
+
+    index: int
+    mode: str
+    shape: Tuple[int, ...]
+    policy: str
+    faults: int
+    interval: int
+    lam: int
+    messages: int
+    seed: int
+
+    #: Seed actually used to build the cell's mesh/faults/traffic; shared by
+    #: every policy at the same configuration point.
+    cell_seed: int = 0
+
+    def config_key(self) -> Tuple[object, ...]:
+        """The configuration axes (everything except the policy)."""
+        return (self.mode, self.shape, self.faults, self.interval, self.lam,
+                self.messages, self.seed)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative grid of experiments.
+
+    Every axis is a tuple; :meth:`cells` expands the cartesian product in a
+    fixed order (shape, faults, interval, λ, messages, seed, policy — policy
+    innermost so comparable cells sit next to each other).
+    """
+
+    name: str = "sweep"
+    mode: str = "simulate"
+    mesh_shapes: Tuple[Tuple[int, ...], ...] = ((8, 8),)
+    policies: Tuple[str, ...] = ("limited-global",)
+    fault_counts: Tuple[int, ...] = (4,)
+    fault_intervals: Tuple[int, ...] = (10,)
+    lams: Tuple[int, ...] = (2,)
+    traffic_sizes: Tuple[int, ...] = (12,)
+    seeds: Tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "mesh_shapes", tuple(tuple(int(r) for r in s) for s in self.mesh_shapes)
+        )
+        for attr in ("policies", "fault_counts", "fault_intervals", "lams",
+                     "traffic_sizes", "seeds"):
+            object.__setattr__(self, attr, tuple(getattr(self, attr)))
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        allowed = SIMULATE_POLICIES if self.mode == "simulate" else OFFLINE_POLICIES
+        for policy in self.policies:
+            if policy not in allowed:
+                raise ValueError(
+                    f"policy {policy!r} is not available in {self.mode!r} mode "
+                    f"(choose from {allowed})"
+                )
+        for axis in ("mesh_shapes", "policies", "fault_counts", "fault_intervals",
+                     "lams", "traffic_sizes", "seeds"):
+            if not getattr(self, axis):
+                raise ValueError(f"{axis} must be non-empty")
+        for shape in self.mesh_shapes:
+            if len(shape) < 1 or any(r < 2 for r in shape):
+                raise ValueError(f"invalid mesh shape {shape}")
+        if self.mode == "offline" and (len(self.fault_intervals) > 1 or len(self.lams) > 1):
+            # Offline cells never read interval/λ; a multi-valued axis would
+            # just rerun differently-seeded replicates disguised as distinct
+            # configurations.
+            raise ValueError(
+                "offline mode ignores fault_intervals and lams; "
+                "give each a single value"
+            )
+
+    @property
+    def cell_count(self) -> int:
+        """Number of grid points the spec expands to."""
+        return (
+            len(self.mesh_shapes) * len(self.fault_counts) * len(self.fault_intervals)
+            * len(self.lams) * len(self.traffic_sizes) * len(self.seeds)
+            * len(self.policies)
+        )
+
+    def cells(self) -> List[ExperimentCell]:
+        """Expand the grid into its cells, in deterministic order."""
+        return list(self.iter_cells())
+
+    def iter_cells(self) -> Iterator[ExperimentCell]:
+        index = 0
+        for shape, faults, interval, lam, messages, seed in product(
+            self.mesh_shapes, self.fault_counts, self.fault_intervals,
+            self.lams, self.traffic_sizes, self.seeds,
+        ):
+            cell_seed = derive_cell_seed(
+                self.name, self.mode, shape, faults, interval, lam, messages, seed
+            )
+            for policy in self.policies:
+                yield ExperimentCell(
+                    index=index,
+                    mode=self.mode,
+                    shape=shape,
+                    policy=policy,
+                    faults=faults,
+                    interval=interval,
+                    lam=lam,
+                    messages=messages,
+                    seed=seed,
+                    cell_seed=cell_seed,
+                )
+                index += 1
+
+    def to_dict(self) -> dict:
+        """JSON-serializable description of the spec."""
+        return {
+            "name": self.name,
+            "mode": self.mode,
+            "mesh_shapes": [list(s) for s in self.mesh_shapes],
+            "policies": list(self.policies),
+            "fault_counts": list(self.fault_counts),
+            "fault_intervals": list(self.fault_intervals),
+            "lams": list(self.lams),
+            "traffic_sizes": list(self.traffic_sizes),
+            "seeds": list(self.seeds),
+            "cell_count": self.cell_count,
+        }

@@ -216,14 +216,15 @@ class Mesh:
         return idx
 
     def coord_of(self, index: int) -> Coord:
-        """Inverse of :meth:`index_of`."""
+        """Inverse of :meth:`index_of` (O(1) via a lazily built table)."""
         if not 0 <= index < self.size:
             raise ValueError(f"index {index} out of range for mesh {self.shape}")
-        coord = []
-        for s in reversed(self.shape):
-            coord.append(index % s)
-            index //= s
-        return tuple(reversed(coord))
+        try:
+            table = self._coord_table
+        except AttributeError:
+            table = tuple(self.nodes())
+            object.__setattr__(self, "_coord_table", table)
+        return table[index]
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         dims = "x".join(str(s) for s in self.shape)

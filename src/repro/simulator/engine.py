@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.block_construction import extract_blocks, labeling_round
 from repro.core.boundary import BoundaryProtocol
 from repro.core.identification import IdentificationProtocol
-from repro.core.routing import RoutingPolicy, RoutingProbe
+from repro.core.routing import RoutingPolicy, RoutingProbe, probe_step_limit
 from repro.core.state import InformationState
 from repro.faults.schedule import DynamicFaultSchedule, FaultEventKind
 from repro.mesh.regions import Region
@@ -60,7 +60,9 @@ class SimulationConfig:
     preconverge_initial_faults: bool = True
 
     #: A probe still in flight after this many steps is reported EXHAUSTED
-    #: (``None`` derives a generous default from the mesh size).
+    #: (``None`` derives the worst-case walk length from
+    #: :func:`~repro.core.routing.probe_step_limit`, the same limit
+    #: offline routing uses).
     max_probe_lifetime: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -116,6 +118,11 @@ class Simulator:
         self._next_traffic_index = 0
         self._labeling_dirty = bool(self.schedule.initial_faults)
         self._step = 0
+        # Events are time-sorted, so the last one bounds the schedule; keeping
+        # it here makes _work_remaining O(1) instead of scanning every step.
+        self._last_event_time = (
+            self.schedule.events[-1].time if self.schedule.events else -1
+        )
 
         if self.config.preconverge_initial_faults and self.schedule.initial_faults:
             self._preconverge()
@@ -253,7 +260,7 @@ class Simulator:
             )
             self._probes.append((message, probe))
 
-        lifetime = self.config.max_probe_lifetime or 8 * self.mesh.size
+        lifetime = self.config.max_probe_lifetime or probe_step_limit(self.mesh)
         remaining: List[Tuple[TrafficMessage, RoutingProbe]] = []
         for message, probe in self._probes:
             outcome = probe.step(self.info)
@@ -277,7 +284,7 @@ class Simulator:
             or self._boundaries
             or self._labeling_dirty
             or self._next_traffic_index < len(self.traffic)
-            or any(e.time >= self._step for e in self.schedule.events)
+            or self._last_event_time >= self._step
         )
 
     def run(self, *, min_steps: int = 0) -> SimulationResult:

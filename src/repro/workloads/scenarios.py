@@ -102,20 +102,33 @@ def figure4_recovery_scenario(
 # Figures 3/5/6: parametric blocks and two-block configurations
 # ---------------------------------------------------------------------- #
 def parametric_block_scenario(
-    radix: int, n_dims: int, edge: int, *, origin: Optional[Sequence[int]] = None
+    radix: Optional[int] = None,
+    n_dims: Optional[int] = None,
+    edge: int = 1,
+    *,
+    origin: Optional[Sequence[int]] = None,
+    shape: Optional[Sequence[int]] = None,
 ) -> DynamicRoutingScenario:
     """A single cubic block of the given edge length, fully faulty.
 
     Used by the identification/boundary experiments (Figures 5 and 6) which
     sweep the block size; making every node of the extent faulty guarantees
-    the labeling stabilizes to exactly that extent.
+    the labeling stabilizes to exactly that extent.  The mesh is either the
+    ``radix``/``n_dims`` cube or an explicit rectangular ``shape`` — give
+    exactly one of the two.
     """
     if edge < 1:
         raise ValueError("edge must be at least 1")
-    mesh = Mesh.cube(radix, n_dims)
+    if shape is not None:
+        if radix is not None or n_dims is not None:
+            raise ValueError("give either radix and n_dims, or shape — not both")
+        mesh = Mesh(tuple(shape))
+    elif radix is None or n_dims is None:
+        raise ValueError("give either radix and n_dims, or shape")
+    else:
+        mesh = Mesh.cube(radix, n_dims)
     if origin is None:
-        start = max(1, (radix - edge) // 2)
-        origin = tuple([start] * n_dims)
+        origin = tuple(max(1, (s - edge) // 2) for s in mesh.shape)
     origin = tuple(origin)
     extent = Region(origin, tuple(o + edge - 1 for o in origin))
     if not mesh.interior_region(1).contains_region(extent):
@@ -124,7 +137,7 @@ def parametric_block_scenario(
         )
     schedule = DynamicFaultSchedule.static(list(extent.iter_points()))
     return DynamicRoutingScenario(
-        name=f"block-{n_dims}d-edge{edge}",
+        name=f"block-{mesh.n_dims}d-edge{edge}",
         mesh=mesh,
         schedule=schedule,
         expected_extents=(extent,),
@@ -158,6 +171,7 @@ def random_dynamic_scenario(
     *,
     radix: int = 12,
     n_dims: int = 3,
+    shape: Optional[Sequence[int]] = None,
     dynamic_faults: int = 8,
     initial_faults: int = 0,
     interval: int = 10,
@@ -169,10 +183,11 @@ def random_dynamic_scenario(
 
     ``dynamic_faults`` interior nodes fail one per ``interval`` steps while
     ``messages`` probes between random far-apart pairs are in flight — the
-    setting of the graceful-degradation experiments.
+    setting of the graceful-degradation experiments.  ``shape`` overrides
+    the ``radix``/``n_dims`` cube with a rectangular mesh.
     """
     rng = np.random.default_rng(seed)
-    mesh = Mesh.cube(radix, n_dims)
+    mesh = Mesh(tuple(shape)) if shape is not None else Mesh.cube(radix, n_dims)
     fault_nodes = uniform_random_faults(
         mesh, dynamic_faults + initial_faults, rng, margin=1
     )
@@ -188,7 +203,7 @@ def random_dynamic_scenario(
     )
     traffic = to_traffic(pairs, start_time=0, spacing=1, tag="dynamic")
     return DynamicRoutingScenario(
-        name=f"dynamic-{n_dims}d-f{dynamic_faults}",
+        name=f"dynamic-{mesh.n_dims}d-f{dynamic_faults}",
         mesh=mesh,
         schedule=schedule,
         traffic=tuple(traffic),

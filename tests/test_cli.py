@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -59,6 +61,37 @@ class TestRouteCommand:
         with pytest.raises(SystemExit):
             main(["route", "--dims", "3", "--source", "0,0", "--destination", "1,1,1"])
 
+    def test_route_rectangular_shape(self, capsys):
+        code = main(
+            [
+                "route",
+                "--shape",
+                "16,8,4",
+                "--source",
+                "0,0,0",
+                "--destination",
+                "15,7,3",
+                "--fault",
+                "8,4,2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "16x8x4" in out
+        assert "delivered" in out
+
+    def test_shape_excludes_radix_and_dims(self):
+        for extra in (["--radix", "8"], ["--dims", "2"]):
+            with pytest.raises(SystemExit):
+                main(
+                    ["route", "--shape", "8,8", "--source", "0,0",
+                     "--destination", "7,7", *extra]
+                )
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["route", "--shape", "8,1", "--source", "0,0", "--destination", "7,0"])
+
 
 class TestSimulateCommand:
     def test_simulate_summary(self, capsys):
@@ -92,6 +125,56 @@ class TestCompareCommand:
         assert code == 0
         for name in ("limited-global", "no-information", "global-information"):
             assert name in out
+
+
+class TestSweepCommand:
+    SWEEP_ARGS = [
+        "sweep",
+        "--shape",
+        "8,8",
+        "--faults",
+        "2,3",
+        "--lam",
+        "1,2",
+        "--messages",
+        "4",
+        "--seeds",
+        "0",
+        "--policies",
+        "limited-global,no-information",
+    ]
+
+    def test_sweep_emits_canonical_json(self, capsys):
+        code = main(self.SWEEP_ARGS)
+        captured = capsys.readouterr()
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["spec"]["cell_count"] == len(payload["cells"]) == 8
+        assert "cells" in captured.err  # human summary goes to stderr
+
+    def test_sweep_workers_do_not_change_output(self, capsys, tmp_path):
+        out_a, out_b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main([*self.SWEEP_ARGS, "--workers", "1", "--out", str(out_a)]) == 0
+        assert main([*self.SWEEP_ARGS, "--workers", "2", "--out", str(out_b)]) == 0
+        assert out_a.read_bytes() == out_b.read_bytes()
+
+    def test_sweep_offline_mode(self, capsys):
+        code = main(
+            [
+                "sweep", "--mode", "offline", "--shape", "10,10",
+                "--faults", "4", "--messages", "6",
+                "--policies", "limited-global,global-information",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {c["policy"] for c in payload["cells"]} == {
+            "limited-global", "global-information",
+        }
+
+    def test_sweep_rejects_offline_policy_in_simulate_mode(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--policies", "global-information"])
 
 
 class TestConvergenceCommand:

@@ -1,0 +1,137 @@
+"""Tests for the experiment orchestration subsystem."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ExperimentSpec,
+    derive_cell_seed,
+    run_batch,
+    run_cell,
+)
+
+
+def small_spec(**overrides) -> ExperimentSpec:
+    params = dict(
+        name="unit",
+        mode="simulate",
+        mesh_shapes=((8, 8),),
+        policies=("limited-global", "no-information"),
+        fault_counts=(2, 3),
+        fault_intervals=(5,),
+        lams=(1, 2),
+        traffic_sizes=(4,),
+        seeds=(0,),
+    )
+    params.update(overrides)
+    return ExperimentSpec(**params)
+
+
+class TestSpec:
+    def test_grid_expansion(self):
+        spec = small_spec()
+        cells = spec.cells()
+        assert len(cells) == spec.cell_count == 2 * 2 * 2
+        assert [c.index for c in cells] == list(range(len(cells)))
+
+    def test_policy_shares_configuration_seed(self):
+        """Cells differing only in policy must share mesh/faults/traffic."""
+        spec = small_spec()
+        by_config = {}
+        for cell in spec.cells():
+            by_config.setdefault(cell.config_key(), set()).add(cell.cell_seed)
+        for seeds in by_config.values():
+            assert len(seeds) == 1
+
+    def test_configurations_get_distinct_seeds(self):
+        spec = small_spec()
+        seeds = {c.cell_seed for c in spec.cells()}
+        assert len(seeds) == spec.cell_count // len(spec.policies)
+
+    def test_seed_derivation_is_stable(self):
+        assert derive_cell_seed("a", 1, (8, 8)) == derive_cell_seed("a", 1, (8, 8))
+        assert derive_cell_seed("a", 1) != derive_cell_seed("b", 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            small_spec(mode="nope")
+        with pytest.raises(ValueError):
+            small_spec(policies=("global-information",))  # offline-only policy
+        with pytest.raises(ValueError):
+            small_spec(mesh_shapes=((1, 8),))
+        with pytest.raises(ValueError):
+            small_spec(fault_counts=())  # an empty axis means a 0-cell sweep
+        # Offline cells never read interval/λ, so multi-valued axes there
+        # would only be replicates in disguise.
+        with pytest.raises(ValueError):
+            small_spec(mode="offline", lams=(1, 2))
+        # ... but offline mode accepts the full policy set.
+        small_spec(
+            mode="offline",
+            policies=("global-information", "static-block"),
+            lams=(1,),
+        )
+
+
+class TestRunner:
+    def test_run_cell_is_deterministic(self):
+        spec = small_spec(fault_counts=(2,), lams=(1,), policies=("limited-global",))
+        (cell,) = spec.cells()
+        first = run_cell(cell)
+        second = run_cell(cell)
+        assert first.metrics == second.metrics
+
+    def test_serial_equals_parallel_json(self):
+        spec = small_spec()
+        serial = run_batch(spec, workers=1)
+        parallel = run_batch(spec, workers=2)
+        assert serial.to_json() == parallel.to_json()
+
+    def test_same_spec_same_json_across_batches(self):
+        spec = small_spec()
+        assert run_batch(spec).to_json() == run_batch(spec).to_json()
+
+    def test_json_round_trips(self):
+        batch = run_batch(small_spec(fault_counts=(2,), lams=(1,)))
+        payload = json.loads(batch.to_json())
+        assert payload["spec"]["cell_count"] == len(payload["cells"]) == 2
+        for cell in payload["cells"]:
+            assert "delivery_rate" in cell["metrics"]
+
+    def test_offline_mode_policy_ordering(self):
+        spec = small_spec(
+            mode="offline",
+            mesh_shapes=((12, 12),),
+            policies=("limited-global", "no-information", "global-information"),
+            fault_counts=(8,),
+            traffic_sizes=(8,),
+            lams=(1,),
+        )
+        batch = run_batch(spec)
+        detours = batch.pivot("mean_detours", rows="faults")[8]
+        assert detours["global-information"] <= detours["limited-global"] + 1e-9
+        assert detours["limited-global"] <= detours["no-information"] + 1e-9
+
+    def test_simulate_metrics_present(self):
+        batch = run_batch(small_spec(fault_counts=(2,), lams=(2,), policies=("limited-global",)))
+        (result,) = batch.results
+        for key in ("delivery_rate", "steps", "worst_steps_to_stabilize", "information_cells"):
+            assert key in result.metrics
+
+    def test_progress_hook_sees_every_cell(self):
+        spec = small_spec(fault_counts=(2,), lams=(1,))
+        seen = []
+        run_batch(spec, on_cell_done=seen.append)
+        assert sorted(r.cell.index for r in seen) == list(range(spec.cell_count))
+
+
+class TestBatchResult:
+    def test_select_and_pivot(self):
+        spec = small_spec()
+        batch = run_batch(spec)
+        only = batch.select(policy="limited-global", lam=1)
+        assert {r.cell.policy for r in only} == {"limited-global"}
+        table = batch.pivot("delivery_rate", rows="lam")
+        assert set(table) == {1, 2}
+        assert set(table[1]) == {"limited-global", "no-information"}

@@ -43,6 +43,16 @@ class TestProbeHeader:
         assert Direction(0, +1) in header.used_at((0, 0))
         assert header.used_at((1, 1)) == set()
 
+    def test_used_at_read_does_not_mutate(self):
+        header = ProbeHeader(destination=(3, 3), stack=[(0, 0)])
+        # Inspecting nodes the probe never forwarded from must not grow the
+        # header: record_use is the only writer.
+        for node in ((1, 1), (2, 2), (0, 0)):
+            header.used_at(node)
+        assert header.used == {}
+        header.record_use((0, 0), Direction(0, +1))
+        assert set(header.used) == {(0, 0)}
+
 
 class TestPolicies:
     def test_limited_global_uses_everything(self):

@@ -83,3 +83,97 @@ class TestInformationState:
     def test_add_info_validates_node(self, info):
         with pytest.raises(ValueError):
             info.add_block_info((99, 99), BlockRecord(Region((4, 4), (4, 4))))
+
+    def test_status_tolerates_off_mesh_and_wrong_rank(self, info):
+        # (4, 4) is faulty; every unrecorded or malformed coordinate reads
+        # as enabled rather than aliasing onto a real node's flat index.
+        assert info.status((4, 4)) is NodeStatus.FAULTY
+        assert info.status((-1, 4)) is NodeStatus.ENABLED
+        assert info.status((4,)) is NodeStatus.ENABLED
+        assert info.status((4, 4, 0)) is NodeStatus.ENABLED
+
+
+class TestCancellationSemantics:
+    """The deletion process after a block shrinks, and version monotonicity."""
+
+    def test_shrunk_block_drops_only_stale_boundaries(self, info):
+        old_extent = Region((3, 3), (5, 5))
+        new_extent = Region((3, 3), (4, 4))  # the block after shrinking
+        info.add_block_info((2, 3), BlockRecord(old_extent, version=1))
+        info.add_boundary((2, 2), BoundaryInfo(old_extent, dim=0, dangerous_side=-1, version=1))
+        info.add_boundary((6, 2), BoundaryInfo(old_extent, dim=1, dangerous_side=+1, version=1))
+        info.add_block_info((2, 3), BlockRecord(new_extent, version=2))
+        info.add_boundary((2, 2), BoundaryInfo(new_extent, dim=0, dangerous_side=-1, version=2))
+
+        removed = info.cancel_stale([new_extent])
+        assert removed == 3  # one block record + two boundary records
+        assert {r.extent for r in info.blocks_known_at((2, 3))} == {new_extent}
+        assert {b.extent for b in info.boundaries_at((2, 2))} == {new_extent}
+        assert info.boundaries_at((6, 2)) == frozenset()
+
+    def test_cancel_stale_with_no_live_extents_drops_everything(self, info):
+        extent = Region((4, 4), (5, 5))
+        info.add_block_info((3, 4), BlockRecord(extent))
+        info.add_boundary((3, 3), BoundaryInfo(extent, dim=0, dangerous_side=-1))
+        assert info.cancel_stale([]) == 2
+        assert info.information_cells() == 0
+        assert info.nodes_holding_information() == set()
+
+    def test_versions_strictly_increase(self, info):
+        seen = [info.version]
+        for _ in range(5):
+            seen.append(info.bump_version())
+        assert seen == sorted(seen)
+        assert len(set(seen)) == len(seen)
+        # Cancellation never rolls the generation counter back.
+        info.cancel_stale([])
+        assert info.version == seen[-1]
+        assert info.bump_version() > seen[-1]
+
+
+class TestRoutingGeometryCache:
+    """detour_constraints / known_extent_frames stay consistent under mutation."""
+
+    def test_constraints_resolve_prisms(self, info):
+        extent = Region((4, 4), (5, 5))
+        info.add_boundary((4, 2), BoundaryInfo(extent, dim=1, dangerous_side=-1))
+        constraints = info.detour_constraints((4, 2))
+        assert constraints == (
+            (Region((4, 0), (5, 3)), Region((4, 6), (5, 9))),
+        )
+        # Cached: the same tuple object is served on a second read.
+        assert info.detour_constraints((4, 2)) is constraints
+
+    def test_cache_invalidated_by_new_record(self, info):
+        extent = Region((4, 4), (5, 5))
+        node = (4, 2)
+        assert info.detour_constraints(node) == ()
+        info.add_boundary(node, BoundaryInfo(extent, dim=1, dangerous_side=-1))
+        assert len(info.detour_constraints(node)) == 1
+        info.add_block_info(node, BlockRecord(extent))
+        assert len(info.known_extent_frames(node)) == 1
+        extent2 = Region((7, 7), (8, 8))
+        info.add_block_info(node, BlockRecord(extent2))
+        assert {e for e, _ in info.known_extent_frames(node)} == {extent, extent2}
+
+    def test_cache_cleared_by_cancel_and_clear(self, info):
+        extent = Region((4, 4), (5, 5))
+        node = (4, 2)
+        info.add_boundary(node, BoundaryInfo(extent, dim=1, dangerous_side=-1))
+        assert info.detour_constraints(node)
+        info.cancel_stale([])
+        assert info.detour_constraints(node) == ()
+        info.add_boundary(node, BoundaryInfo(extent, dim=1, dangerous_side=-1))
+        info.clear_information()
+        assert info.detour_constraints(node) == ()
+
+    def test_policy_flags_select_record_kinds(self, info):
+        extent = Region((4, 4), (5, 5))
+        node = (4, 2)
+        info.add_boundary(node, BoundaryInfo(extent, dim=1, dangerous_side=-1))
+        assert info.detour_constraints(node, use_boundary_info=False) == ()
+        info.add_block_info(node, BlockRecord(extent))
+        assert info.detour_constraints(node, use_boundary_info=False)
+        assert info.known_extent_frames(node, use_block_info=False) == (
+            (extent, extent.expand(1)),
+        )
