@@ -12,7 +12,6 @@ from _common import print_table
 from repro.analysis.convergence import (
     expected_boundary_rounds,
     expected_identification_rounds,
-    expected_labeling_rounds,
     measure_convergence,
 )
 from repro.workloads.scenarios import parametric_block_scenario

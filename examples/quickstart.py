@@ -12,7 +12,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import Mesh, RoutingPolicy, build_blocks, route_offline
+from repro import Mesh, build_blocks, route_offline
 from repro.baselines import route_no_information
 from repro.core.distribution import distribute_information_with_report
 from repro.core.state import InformationState
@@ -35,7 +35,7 @@ def main() -> None:
     print(f"identification rounds (b_i): {report.identification_rounds}")
     print(f"boundary construction rounds (c_i): {report.boundary_rounds}")
     print(
-        f"nodes holding limited-global information: "
+        "nodes holding limited-global information: "
         f"{len(info.nodes_holding_information())} of {mesh.size}"
     )
 

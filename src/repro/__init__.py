@@ -10,7 +10,8 @@ The public API re-exports the pieces most users need:
 * the limited-global information model (block construction, identification,
   boundary construction, :class:`InformationState`);
 * fault-information-based PCS routing (:class:`RoutingPolicy`,
-  :func:`route_offline`) and its baselines;
+  :func:`route_offline`) and the router registry unifying every policy and
+  baseline (:func:`resolve_router`, :func:`available_routers`);
 * the step-synchronous simulator (:class:`Simulator`,
   :class:`SimulationConfig`) implementing the paper's execution model.
 
@@ -59,6 +60,13 @@ from repro.faults import (
     uniform_random_faults,
 )
 from repro.mesh import Direction, Mesh, Region
+from repro.routing import (
+    Router,
+    available_routers,
+    register_router,
+    resolve_router,
+    route_with,
+)
 from repro.simulator import SimulationConfig, SimulationResult, Simulator
 
 __version__ = "1.0.0"
@@ -83,12 +91,14 @@ __all__ = [
     "Region",
     "RouteOutcome",
     "RouteResult",
+    "Router",
     "RoutingPolicy",
     "RoutingProbe",
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
     "__version__",
+    "available_routers",
     "build_blocks",
     "compute_boundaries",
     "distribute_information",
@@ -97,7 +107,10 @@ __all__ = [
     "is_safe_source",
     "minimal_path_exists",
     "oracle_identify",
+    "register_router",
+    "resolve_router",
     "route_offline",
+    "route_with",
     "run_block_construction",
     "uniform_random_faults",
 ]

@@ -25,6 +25,7 @@ from repro.analysis.detour_bounds import (
 from repro.analysis.metrics import (
     PolicyComparison,
     compare_policies,
+    contention_row,
     global_table_cells,
     limited_global_cells,
     summarize_routes,
@@ -35,6 +36,7 @@ __all__ = [
     "DetourBoundParameters",
     "PolicyComparison",
     "compare_policies",
+    "contention_row",
     "expected_boundary_rounds",
     "expected_identification_rounds",
     "expected_labeling_rounds",

@@ -19,7 +19,7 @@ sanity check in the convergence experiments:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.core.block_construction import build_blocks
 from repro.core.distribution import distribute_information_with_report

@@ -17,15 +17,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from statistics import mean
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.baselines.global_info import GlobalInformationRouter
-from repro.baselines.static_block import adjacent_only_information
 from repro.core.block_construction import LabelingState, extract_blocks
 from repro.core.distribution import distribute_information
-from repro.core.routing import RouteOutcome, RouteResult, RoutingPolicy, route_offline
+from repro.core.routing import RouteOutcome, RouteResult
 from repro.core.state import InformationState
 from repro.mesh.topology import Mesh
+from repro.routing import resolve_router
+from repro.simulator.stats import SimulationStats
 
 Coord = Tuple[int, ...]
 Pair = Tuple[Coord, Coord]
@@ -87,40 +87,54 @@ def compare_policies(
     include_global: bool = True,
     max_steps: Optional[int] = None,
 ) -> PolicyComparison:
-    """Route every pair under each policy against the same stabilized faults."""
+    """Route every pair under each policy against the same stabilized faults.
+
+    Policies are resolved through the router registry, so the comparison
+    table automatically reflects :func:`repro.routing.available_routers`.
+    """
     comparison = PolicyComparison(
         mesh_shape=mesh.shape, fault_count=len(labeling.faulty_nodes)
     )
 
-    info = distribute_information(mesh, labeling)
-    limited = [
-        route_offline(info, s, d, policy=RoutingPolicy.limited_global(), max_steps=max_steps)
-        for s, d in pairs
-    ]
-    comparison.summaries["limited-global"] = summarize_routes(limited)
-
-    bare = InformationState(mesh=mesh, labeling=labeling)
-    no_info = [
-        route_offline(bare, s, d, policy=RoutingPolicy.no_information(), max_steps=max_steps)
-        for s, d in pairs
-    ]
-    comparison.summaries["no-information"] = summarize_routes(no_info)
-
+    names = ["limited-global", "no-information"]
     if include_static_block:
-        adjacent = adjacent_only_information(mesh, labeling)
-        policy = RoutingPolicy(name="static-block", use_boundary_info=False)
-        static = [
-            route_offline(adjacent, s, d, policy=policy, max_steps=max_steps)
-            for s, d in pairs
-        ]
-        comparison.summaries["static-block"] = summarize_routes(static)
-
+        names.append("static-block")
     if include_global:
-        router = GlobalInformationRouter(mesh, labeling)
-        global_results = [router.route(s, d) for s, d in pairs]
-        comparison.summaries["global-information"] = summarize_routes(global_results)
-
+        names.append("global-information")
+    for name in names:
+        router = resolve_router(name)
+        routes = [
+            router.route(mesh, labeling, s, d, max_steps=max_steps) for s, d in pairs
+        ]
+        comparison.summaries[name] = summarize_routes(routes)
     return comparison
+
+
+# ---------------------------------------------------------------------- #
+# circuit-contention accounting
+# ---------------------------------------------------------------------- #
+def contention_row(stats: SimulationStats, mesh: Mesh) -> Dict[str, float]:
+    """One row of the circuit-contention table for a finished simulation.
+
+    ``link_utilization`` normalizes the mean circuit hold occupancy by the
+    mesh's total (undirected) link count, so rows from differently sized
+    meshes are comparable.
+    """
+    total_links = sum(
+        (s - 1) * mesh.size // s for s in mesh.shape
+    )
+    return {
+        "messages": float(len(stats.messages)),
+        "delivery_rate": stats.delivery_rate,
+        "blocked_hops": float(stats.total_blocked_hops),
+        "setup_retries": float(stats.total_setup_retries),
+        "circuits_reserved": float(stats.circuits_reserved),
+        "mean_reserved_links": stats.mean_reserved_links,
+        "peak_reserved_links": float(stats.peak_reserved_links),
+        "link_utilization": (
+            stats.mean_reserved_links / total_links if total_links else 0.0
+        ),
+    }
 
 
 # ---------------------------------------------------------------------- #

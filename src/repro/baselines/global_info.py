@@ -1,117 +1,15 @@
-"""Global-information routing baseline.
+"""Global-information routing baseline — thin adapter.
 
-Every node is assumed to know the entire fault configuration at all times,
-so the router can always follow a shortest path in the fault-free subgraph.
-This is the ideal the traditional "routing table at every node" approach
-strives for; the paper's model trades a small number of extra detours for
-not having to maintain that table.  Two avoidance levels are provided:
-
-* avoiding *faulty* nodes only (the true shortest usable path);
-* avoiding whole *blocks* (faulty + disabled nodes), which is what a
-  block-based global scheme would do and is the fairer comparison for the
-  limited-global model.
+The implementation lives in :mod:`repro.routing.global_info`, where it is
+registered as the ``"global-information"`` router (offline *and* online);
+this module re-exports the historical entry points.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from repro.routing.global_info import (
+    GlobalInformationRouter,
+    route_global_information,
+)
 
-from repro.core.block_construction import LabelingState
-from repro.core.routing import RouteOutcome, RouteResult
-from repro.mesh.topology import Mesh
-
-Coord = Tuple[int, ...]
-
-
-class GlobalInformationRouter:
-    """Shortest-path router with full knowledge of the fault configuration."""
-
-    def __init__(
-        self,
-        mesh: Mesh,
-        labeling: LabelingState,
-        *,
-        avoid_blocks: bool = True,
-    ) -> None:
-        self.mesh = mesh
-        self.labeling = labeling
-        self.avoid_blocks = avoid_blocks
-
-    def blocked_nodes(self) -> Set[Coord]:
-        """Nodes the router refuses to traverse."""
-        if self.avoid_blocks:
-            return set(self.labeling.block_nodes)
-        return set(self.labeling.faulty_nodes)
-
-    def shortest_path(
-        self, source: Sequence[int], destination: Sequence[int]
-    ) -> Optional[List[Coord]]:
-        """BFS shortest path avoiding the blocked nodes, or ``None``."""
-        source = self.mesh.validate(source)
-        destination = self.mesh.validate(destination)
-        blocked = self.blocked_nodes()
-        if source in blocked or destination in blocked:
-            return None
-        if source == destination:
-            return [source]
-        parents: Dict[Coord, Coord] = {}
-        seen: Set[Coord] = {source}
-        frontier = deque([source])
-        while frontier:
-            node = frontier.popleft()
-            for neighbor in self.mesh.neighbors(node):
-                if neighbor in seen or neighbor in blocked:
-                    continue
-                parents[neighbor] = node
-                if neighbor == destination:
-                    path = [neighbor]
-                    while path[-1] != source:
-                        path.append(parents[path[-1]])
-                    path.reverse()
-                    return path
-                seen.add(neighbor)
-                frontier.append(neighbor)
-        return None
-
-    def route(
-        self, source: Sequence[int], destination: Sequence[int]
-    ) -> RouteResult:
-        """Route result along the globally-known shortest path."""
-        source = self.mesh.validate(source)
-        destination = self.mesh.validate(destination)
-        path = self.shortest_path(source, destination)
-        min_distance = self.mesh.distance(source, destination)
-        if path is None:
-            return RouteResult(
-                outcome=RouteOutcome.UNREACHABLE,
-                path=[source],
-                source=source,
-                destination=destination,
-                min_distance=min_distance,
-                forward_hops=0,
-                backtrack_hops=0,
-            )
-        return RouteResult(
-            outcome=RouteOutcome.DELIVERED,
-            path=path,
-            source=source,
-            destination=destination,
-            min_distance=min_distance,
-            forward_hops=len(path) - 1,
-            backtrack_hops=0,
-        )
-
-
-def route_global_information(
-    mesh: Mesh,
-    labeling: LabelingState,
-    source: Sequence[int],
-    destination: Sequence[int],
-    *,
-    avoid_blocks: bool = True,
-) -> RouteResult:
-    """Convenience wrapper around :class:`GlobalInformationRouter`."""
-    return GlobalInformationRouter(mesh, labeling, avoid_blocks=avoid_blocks).route(
-        source, destination
-    )
+__all__ = ["GlobalInformationRouter", "route_global_information"]

@@ -1,10 +1,11 @@
-"""Information-free backtracking PCS routing.
+"""Information-free backtracking PCS routing — thin adapter.
 
 The probe uses only what PCS hardware always has: detection of faults on
 adjacent links/nodes and the used-direction lists in its own header.  It is
-Algorithm 3 run with an empty information model — the same code path as the
-limited-global router, with block and boundary knowledge switched off — so
-any difference in detours is attributable purely to the information model.
+Algorithm 3 run with an empty information model, registered as the
+``"no-information"`` router; this wrapper keeps the historical signature,
+which routes against a caller-supplied information provider (whose records,
+if any, the policy ignores).
 """
 
 from __future__ import annotations
@@ -17,6 +18,8 @@ from repro.core.routing import (
     RoutingPolicy,
     route_offline,
 )
+
+__all__ = ["route_no_information"]
 
 
 def route_no_information(

@@ -1,39 +1,20 @@
-"""Static faulty-block routing (Wu, ICPP 2000) — the paper's predecessor.
+"""Static faulty-block routing (Wu, ICPP 2000) — thin adapter.
 
-Wu's minimal adaptive routing keeps block information only at the nodes
-*adjacent* to a block (and at its corners/edges), with no boundary
-propagation.  A probe therefore only learns about a block when it is already
-next to it — often after it has entered the dangerous area — and must walk
-around the block instead of having been steered away at the boundary.  This
-baseline isolates the contribution of boundary propagation: it shares the
-labeling, identification and routing machinery with the limited-global model
-and differs only in which nodes hold the information.
+The implementation lives in :mod:`repro.routing.static_block`, where it is
+registered as the ``"static-block"`` router (offline *and* online); this
+module re-exports the historical entry points.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.block_construction import LabelingState, extract_blocks
-from repro.core.routing import RouteResult, RoutingPolicy, route_offline
-from repro.core.state import BlockRecord, InformationState
+from repro.core.block_construction import LabelingState
+from repro.core.routing import RouteResult
 from repro.mesh.topology import Mesh
+from repro.routing.static_block import StaticBlockRouter, adjacent_only_information
 
-
-def adjacent_only_information(
-    mesh: Mesh, labeling: LabelingState, *, version: int = 0
-) -> InformationState:
-    """Information state with block records at adjacent-frame nodes only.
-
-    This is exactly what the identification back-propagation produces,
-    *without* the subsequent boundary construction.
-    """
-    info = InformationState(mesh=mesh, labeling=labeling, version=version)
-    for block in extract_blocks(labeling):
-        record = BlockRecord(extent=block.extent, version=version)
-        for node in block.frame_nodes(mesh):
-            info.add_block_info(node, record)
-    return info
+__all__ = ["adjacent_only_information", "route_static_block"]
 
 
 def route_static_block(
@@ -45,6 +26,6 @@ def route_static_block(
     max_steps: Optional[int] = None,
 ) -> RouteResult:
     """Route with block information available only next to each block."""
-    info = adjacent_only_information(mesh, labeling)
-    policy = RoutingPolicy(name="static-block", use_boundary_info=False)
-    return route_offline(info, source, destination, policy=policy, max_steps=max_steps)
+    return StaticBlockRouter().route(
+        mesh, labeling, source, destination, max_steps=max_steps
+    )

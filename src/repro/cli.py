@@ -29,22 +29,18 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.analysis.convergence import measure_convergence
-from repro.analysis.metrics import compare_policies
-from repro.baselines.global_info import route_global_information
+from repro.analysis.metrics import compare_policies, contention_row
 from repro.core.block_construction import build_blocks
-from repro.core.distribution import distribute_information
-from repro.core.routing import RoutingPolicy, route_offline
-from repro.core.state import InformationState
-from repro.experiments import (
-    MODES,
-    OFFLINE_POLICIES,
-    SIMULATE_POLICIES,
-    ExperimentSpec,
-    run_batch,
-)
+from repro.experiments import MODES, ExperimentSpec, run_batch
 from repro.faults.injection import uniform_random_faults
 from repro.mesh.topology import Mesh
+from repro.routing import available_routers, resolve_router
 from repro.simulator.engine import SimulationConfig, Simulator
+from repro.workloads.congestion import (
+    bursty_scenario,
+    hotspot_scenario,
+    transpose_scenario,
+)
 from repro.workloads.scenarios import parametric_block_scenario, random_dynamic_scenario
 from repro.workloads.traffic import random_pairs
 
@@ -147,8 +143,9 @@ def _build_parser() -> argparse.ArgumentParser:
     route.add_argument("--random-faults", type=int, default=0, help="additional random faults")
     route.add_argument(
         "--policy",
-        choices=("limited-global", "no-information", "global-information"),
+        choices=available_routers(),
         default="limited-global",
+        help="routing policy (any registered router)",
     )
 
     simulate = sub.add_parser("simulate", help="run a randomized dynamic-fault simulation")
@@ -157,6 +154,27 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--interval", type=int, default=15, help="steps between faults (d_i)")
     simulate.add_argument("--messages", type=int, default=12, help="routing messages")
     simulate.add_argument("--lam", type=int, default=2, help="information rounds per step (λ)")
+    simulate.add_argument(
+        "--policy",
+        choices=available_routers(),
+        default="limited-global",
+        help="routing policy driving every probe (any registered router)",
+    )
+    simulate.add_argument(
+        "--scenario",
+        choices=("random", "hotspot", "transpose", "bursty"),
+        default="random",
+        help="traffic family (congestion scenarios contend for links)",
+    )
+    simulate.add_argument(
+        "--contention", action="store_true",
+        help="run the PCS circuit phase: probes reserve links, delivered "
+        "circuits hold them for a flits-derived time",
+    )
+    simulate.add_argument(
+        "--flits", type=int, default=64,
+        help="message length in flits (circuit hold time under contention)",
+    )
 
     compare = sub.add_parser("compare", help="compare routing policies on random faults")
     _add_mesh_arguments(compare)
@@ -180,9 +198,16 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--mode", choices=MODES, default="simulate")
     sweep.add_argument(
         "--policies", default="limited-global",
-        help="comma-separated policy names "
-        f"(simulate: {','.join(SIMULATE_POLICIES)}; offline also: "
-        f"{','.join(p for p in OFFLINE_POLICIES if p not in SIMULATE_POLICIES)})",
+        help="comma-separated policy names (registered routers: "
+        f"{','.join(available_routers())})",
+    )
+    sweep.add_argument(
+        "--contention", action="store_true",
+        help="simulate mode: run the PCS circuit phase in every cell",
+    )
+    sweep.add_argument(
+        "--flits", type=int, default=64,
+        help="message length in flits for every generated message",
     )
     sweep.add_argument("--faults", type=_parse_int_list, default=(4,), help="fault counts, e.g. 4,8")
     sweep.add_argument("--interval", type=_parse_int_list, default=(10,), help="steps between faults (d_i)")
@@ -207,17 +232,9 @@ def _cmd_route(args: argparse.Namespace) -> int:
             mesh, args.random_faults, rng, exclude=[source, destination, *faults]
         )
     result = build_blocks(mesh, faults)
-
-    if args.policy == "global-information":
-        route = route_global_information(mesh, result.state, source, destination)
-    elif args.policy == "no-information":
-        bare = InformationState(mesh=mesh, labeling=result.state)
-        route = route_offline(
-            bare, source, destination, policy=RoutingPolicy.no_information()
-        )
-    else:
-        info = distribute_information(mesh, result.state)
-        route = route_offline(info, source, destination)
+    route = resolve_router(args.policy).route(
+        mesh, result.state, source, destination
+    )
 
     print(f"mesh {mesh}, {len(faults)} faults, {len(result.blocks)} blocks")
     print(f"policy          : {args.policy}")
@@ -229,23 +246,66 @@ def _cmd_route(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    scenario = random_dynamic_scenario(
-        shape=_mesh_shape_from_args(args),
-        dynamic_faults=args.faults,
-        interval=args.interval,
-        messages=args.messages,
-        seed=args.seed,
-    )
+    shape = _mesh_shape_from_args(args)
+    if args.scenario == "hotspot":
+        scenario = hotspot_scenario(
+            shape=shape,
+            messages=args.messages,
+            dynamic_faults=args.faults,
+            interval=args.interval,
+            flits=args.flits,
+            seed=args.seed,
+        )
+    elif args.scenario == "transpose":
+        if len(set(shape)) != 1:
+            raise argparse.ArgumentTypeError(
+                "transpose traffic requires a uniform (cubic) mesh"
+            )
+        scenario = transpose_scenario(
+            radix=shape[0],
+            n_dims=len(shape),
+            limit=args.messages,
+            dynamic_faults=args.faults,
+            interval=args.interval,
+            flits=args.flits,
+            seed=args.seed,
+        )
+    elif args.scenario == "bursty":
+        scenario = bursty_scenario(
+            shape=shape,
+            bursts=max(1, args.messages // 6),
+            burst_size=min(6, args.messages),
+            dynamic_faults=args.faults,
+            interval=args.interval,
+            flits=args.flits,
+            seed=args.seed,
+        )
+    else:
+        scenario = random_dynamic_scenario(
+            shape=shape,
+            dynamic_faults=args.faults,
+            interval=args.interval,
+            messages=args.messages,
+            seed=args.seed,
+        )
     sim = Simulator(
         scenario.mesh,
         schedule=scenario.schedule,
         traffic=list(scenario.traffic),
-        config=SimulationConfig(lam=args.lam),
+        config=SimulationConfig(
+            lam=args.lam,
+            router=args.policy,
+            contention=args.contention,
+        ),
     )
     stats = sim.run().stats
     print(f"scenario        : {scenario.name}")
+    print(f"policy          : {args.policy}")
     for key, value in stats.summary().items():
         print(f"{key:<24}: {value:.3f}")
+    if args.contention:
+        utilization = contention_row(stats, scenario.mesh)["link_utilization"]
+        print(f"{'link_utilization':<24}: {utilization:.3f}")
     return 0
 
 
@@ -299,6 +359,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             lams=args.lam,
             traffic_sizes=args.messages,
             seeds=args.seeds,
+            contention=args.contention,
+            flits=args.flits,
         )
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc))

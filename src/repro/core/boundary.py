@@ -30,7 +30,7 @@ than the second block's half-perimeter).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.faulty_block import FaultyBlock, dangerous_prism_of_extent
 from repro.core.state import BoundaryInfo, InformationState

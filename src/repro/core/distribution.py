@@ -17,7 +17,7 @@ quantities (``b_i``, ``c_i``) the convergence experiments sweep.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.core.block_construction import LabelingState, extract_blocks
 from repro.core.boundary import BoundaryProtocol

@@ -36,7 +36,7 @@ lifetime of every message.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
 
 from repro.core.block_construction import LabelingState
 from repro.core.faulty_block import FaultyBlock

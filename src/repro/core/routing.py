@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from enum import Enum, IntEnum
 from typing import (
     AbstractSet,
+    Callable,
     ClassVar,
     Dict,
     FrozenSet,
@@ -51,7 +52,6 @@ from repro.core.state import (
     BlockRecord,
     BoundaryInfo,
     ExtentFrame,
-    InformationState,
     PrismPair,
     resolve_routing_geometry,
 )
@@ -60,6 +60,11 @@ from repro.mesh.directions import Direction
 from repro.mesh.topology import Mesh
 
 Coord = Tuple[int, ...]
+
+#: Predicate deciding whether the link from the first node to the second is
+#: currently unavailable (reserved by another in-flight circuit).  ``None``
+#: everywhere means contention-free routing — the historical behavior.
+LinkBlocked = Callable[[Coord, Coord], bool]
 
 
 class DirectionClass(IntEnum):
@@ -195,6 +200,12 @@ class ProbeHeader:
 #: Sentinel decision value meaning "backtrack one hop".
 BACKTRACK = "backtrack"
 
+#: Sentinel decision value meaning "stay in place this step" — only produced
+#: under contention, when a probe sitting at its source finds every usable
+#: direction reserved by another circuit (there is no link to release by
+#: backtracking, and the reservations are transient, so the probe waits).
+WAIT = "wait"
+
 
 # ---------------------------------------------------------------------- #
 # direction classification
@@ -294,6 +305,32 @@ def classify_directions(
     return [(cls, direction) for cls, _, direction in entries]
 
 
+def decision_candidates(
+    info: InformationProvider,
+    header: ProbeHeader,
+    *,
+    policy: RoutingPolicy,
+) -> Optional[List[Tuple[DirectionClass, Direction]]]:
+    """The ordered candidate directions of one Algorithm-3 decision step.
+
+    Returns ``None`` when the probe must backtrack unconditionally (rule 1:
+    it sits on a disabled node away from its source).  This is the single
+    source of truth shared by the contention-free decision and the
+    contended variant, so the two can never diverge on the algorithm core.
+    """
+    node = header.current
+    if info.status(node) is NodeStatus.DISABLED and node != header.source:
+        return None
+    return classify_directions(
+        info,
+        node,
+        header.destination,
+        policy=policy,
+        incoming=header.incoming_direction,
+        used=header.used_at(node),
+    )
+
+
 def routing_decision(
     info: InformationProvider,
     header: ProbeHeader,
@@ -304,19 +341,7 @@ def routing_decision(
 
     Returns the chosen outgoing :class:`Direction`, or :data:`BACKTRACK`.
     """
-    node = header.current
-    status = info.status(node)
-    # Step 1: a probe sitting on a disabled node backtracks.
-    if status is NodeStatus.DISABLED and node != header.source:
-        return BACKTRACK
-    candidates = classify_directions(
-        info,
-        node,
-        header.destination,
-        policy=policy,
-        incoming=header.incoming_direction,
-        used=header.used_at(node),
-    )
+    candidates = decision_candidates(info, header, policy=policy)
     if not candidates:
         return BACKTRACK
     return candidates[0][1]
@@ -348,6 +373,14 @@ class RouteResult:
     min_distance: int
     forward_hops: int
     backtrack_hops: int
+
+    #: Candidate hops skipped because their link was reserved by another
+    #: circuit (always 0 for contention-free routing).
+    blocked_hops: int = 0
+
+    #: Times the probe was forced to retreat (or wait) because *every*
+    #: otherwise-usable direction was reserved by another circuit.
+    setup_retries: int = 0
 
     @property
     def hops(self) -> int:
@@ -390,6 +423,8 @@ class RoutingProbe:
         self.path: List[Coord] = [self.source]
         self.forward_hops = 0
         self.backtrack_hops = 0
+        self.blocked_hops = 0
+        self.setup_retries = 0
         self.outcome: Optional[RouteOutcome] = None
         if self.source == self.destination:
             self.outcome = RouteOutcome.DELIVERED
@@ -400,15 +435,41 @@ class RoutingProbe:
         return self.header.current
 
     @property
+    def circuit_stack(self) -> List[Coord]:
+        """Nodes of the partial circuit the probe currently holds.
+
+        In PCS the links along this stack are reserved while the probe is in
+        flight; a backtrack releases the last link.  The simulator's live
+        reservation table mirrors exactly this sequence.
+        """
+        return self.header.stack
+
+    @property
     def done(self) -> bool:
         """True when the probe reached a terminal outcome."""
         return self.outcome is not None
 
-    def step(self, info: InformationProvider) -> Optional[RouteOutcome]:
-        """Advance the probe by one step (one hop forward or one backtrack)."""
+    def step(
+        self,
+        info: InformationProvider,
+        *,
+        link_blocked: Optional[LinkBlocked] = None,
+    ) -> Optional[RouteOutcome]:
+        """Advance the probe by one step (one hop forward or one backtrack).
+
+        ``link_blocked`` enables circuit contention: directions whose link is
+        currently reserved by another circuit are skipped for this step only
+        (they are *not* recorded as used, so a link freed later may still be
+        taken).  The contention-free path is untouched when it is ``None``.
+        """
         if self.done:
             return self.outcome
-        decision = routing_decision(info, self.header, policy=self.policy)
+        if link_blocked is None:
+            decision = routing_decision(info, self.header, policy=self.policy)
+        else:
+            decision = self._contended_decision(info, link_blocked)
+        if decision == WAIT:
+            return None
         if decision == BACKTRACK:
             if self.header.at_source:
                 self.outcome = RouteOutcome.UNREACHABLE
@@ -429,6 +490,35 @@ class RoutingProbe:
             self.outcome = RouteOutcome.DELIVERED
         return self.outcome
 
+    def _contended_decision(
+        self, info: InformationProvider, link_blocked: LinkBlocked
+    ) -> Direction | str:
+        """Algorithm 3 decision with reserved links filtered out.
+
+        Same candidate core as :func:`routing_decision`
+        (:func:`decision_candidates`), but candidate directions whose
+        outgoing link is held by another circuit are skipped — and counted —
+        for this step only.  When every usable direction is reserved, the
+        probe retreats one hop (releasing its last link) so it can walk
+        around the contention; at the source there is no link to release and
+        the reservations are transient, so it waits instead of reporting the
+        destination unreachable.
+        """
+        candidates = decision_candidates(info, self.header, policy=self.policy)
+        if not candidates:
+            return BACKTRACK
+        node = self.header.current
+        blocked = 0
+        for _, direction in candidates:
+            if link_blocked(node, direction.apply(node)):
+                blocked += 1
+                continue
+            self.blocked_hops += blocked
+            return direction
+        self.blocked_hops += blocked
+        self.setup_retries += 1
+        return WAIT if self.header.at_source else BACKTRACK
+
     def result(self) -> RouteResult:
         """Snapshot of the probe's statistics (terminal or not)."""
         outcome = self.outcome or RouteOutcome.EXHAUSTED
@@ -440,6 +530,8 @@ class RoutingProbe:
             min_distance=self.mesh.distance(self.source, self.destination),
             forward_hops=self.forward_hops,
             backtrack_hops=self.backtrack_hops,
+            blocked_hops=self.blocked_hops,
+            setup_retries=self.setup_retries,
         )
 
 

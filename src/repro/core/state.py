@@ -23,7 +23,7 @@ node, versus a global fault table at every node).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 from repro.core.block_construction import LabelingState
 from repro.core.faulty_block import dangerous_prism_of_extent

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.experiments.spec import ExperimentCell, ExperimentSpec
 
@@ -39,6 +39,8 @@ class CellResult:
             "messages": self.cell.messages,
             "seed": self.cell.seed,
             "cell_seed": self.cell.cell_seed,
+            "contention": self.cell.contention,
+            "flits": self.cell.flits,
             "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
         }
 

@@ -15,33 +15,21 @@ results for any worker count** — the JSON export of a serial run and a
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.analysis.metrics import summarize_routes
-from repro.baselines.global_info import GlobalInformationRouter
-from repro.baselines.static_block import adjacent_only_information
 from repro.core.block_construction import build_blocks
-from repro.core.distribution import distribute_information
-from repro.core.routing import RoutingPolicy, route_offline
-from repro.core.state import InformationState
 from repro.experiments.results import BatchResult, CellResult
 from repro.experiments.spec import ExperimentCell, ExperimentSpec
 from repro.faults.injection import clustered_faults, dynamic_schedule, uniform_random_faults
 from repro.mesh.topology import Mesh
+from repro.routing import resolve_router
 from repro.simulator.engine import SimulationConfig, Simulator
 from repro.workloads.traffic import random_pairs, to_traffic
 
 Coord = Tuple[int, ...]
-
-
-def _simulate_policy(name: str) -> RoutingPolicy:
-    if name == "limited-global":
-        return RoutingPolicy.limited_global()
-    if name == "no-information":
-        return RoutingPolicy.no_information()
-    raise ValueError(f"unknown simulate-mode policy {name!r}")
 
 
 def _offline_faults(
@@ -73,25 +61,10 @@ def _run_offline_cell(cell: ExperimentCell) -> Dict[str, float]:
         exclude=list(labeling.block_nodes),
     )
 
-    if cell.policy == "global-information":
-        router = GlobalInformationRouter(mesh, labeling)
-        routes = [router.route(s, d) for s, d in pairs]
-    else:
-        if cell.policy == "no-information":
-            info = InformationState(mesh=mesh, labeling=labeling)
-            policy = RoutingPolicy.no_information()
-        elif cell.policy == "static-block":
-            info = adjacent_only_information(mesh, labeling)
-            policy = RoutingPolicy(name="static-block", use_boundary_info=False)
-        else:
-            info = distribute_information(mesh, labeling)
-            if cell.policy == "boundary-only":
-                policy = RoutingPolicy(name="boundary-only", use_block_info=False)
-            elif cell.policy == "no-disabled-avoid":
-                policy = RoutingPolicy(name="no-disabled-avoid", avoid_known_disabled=False)
-            else:
-                policy = RoutingPolicy.limited_global()
-        routes = [route_offline(info, s, d, policy=policy) for s, d in pairs]
+    # The router derives whatever information view its policy assumes; its
+    # one-slot cache makes the whole batch share a single derivation.
+    router = resolve_router(cell.policy)
+    routes = [router.route(mesh, labeling, s, d) for s, d in pairs]
 
     summary = summarize_routes(routes)
     return {
@@ -117,12 +90,14 @@ def _run_simulate_cell(cell: ExperimentCell) -> Dict[str, float]:
         min_distance=max(1, mesh.diameter // 2),
         exclude=fault_nodes,
     )
-    traffic = to_traffic(pairs, start_time=0, spacing=1, tag="sweep")
+    traffic = to_traffic(pairs, start_time=0, spacing=1, tag="sweep", flits=cell.flits)
     sim = Simulator(
         mesh,
         schedule=schedule,
         traffic=traffic,
-        config=SimulationConfig(lam=cell.lam, policy=_simulate_policy(cell.policy)),
+        config=SimulationConfig(
+            lam=cell.lam, router=cell.policy, contention=cell.contention
+        ),
     )
     result = sim.run()
     stats = result.stats

@@ -17,26 +17,27 @@ batch produces identical results no matter how many workers ran it.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import product
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Tuple
+
+from repro.routing import available_routers
 
 #: Experiment modes: ``simulate`` runs the step-synchronous simulator with a
 #: dynamic fault schedule; ``offline`` routes a batch of messages against a
 #: fully stabilized information state.
 MODES = ("simulate", "offline")
 
-#: Policies available per mode (offline also has the ablation variants and
-#: the idealized baseline).
-SIMULATE_POLICIES = ("limited-global", "no-information")
-OFFLINE_POLICIES = (
-    "limited-global",
-    "static-block",
-    "boundary-only",
-    "no-disabled-avoid",
-    "no-information",
-    "global-information",
-)
+
+def _registered_policies() -> Tuple[str, ...]:
+    return available_routers()
+
+
+#: Every registered router is sweepable in *both* modes: each routes offline
+#: against a stabilized labeling and steps online inside the simulator.
+#: (The two names are kept for callers that still distinguish the modes.)
+SIMULATE_POLICIES = _registered_policies()
+OFFLINE_POLICIES = _registered_policies()
 
 
 def derive_cell_seed(name: str, *parts: object) -> int:
@@ -68,6 +69,12 @@ class ExperimentCell:
     #: every policy at the same configuration point.
     cell_seed: int = 0
 
+    #: Whether the simulator runs the PCS circuit phase (simulate mode only).
+    contention: bool = False
+
+    #: Data-phase length of every message (circuit hold under contention).
+    flits: int = 64
+
     def config_key(self) -> Tuple[object, ...]:
         """The configuration axes (everything except the policy)."""
         return (self.mode, self.shape, self.faults, self.interval, self.lam,
@@ -93,6 +100,14 @@ class ExperimentSpec:
     traffic_sizes: Tuple[int, ...] = (12,)
     seeds: Tuple[int, ...] = (0,)
 
+    #: Run the simulator's PCS circuit phase: concurrent path setups contend
+    #: for links and delivered circuits hold their links for a
+    #: ``flits``-derived time (simulate mode only).
+    contention: bool = False
+
+    #: Message length in flits for every generated message.
+    flits: int = 64
+
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "mesh_shapes", tuple(tuple(int(r) for r in s) for s in self.mesh_shapes)
@@ -102,13 +117,17 @@ class ExperimentSpec:
             object.__setattr__(self, attr, tuple(getattr(self, attr)))
         if self.mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
-        allowed = SIMULATE_POLICIES if self.mode == "simulate" else OFFLINE_POLICIES
+        registered = available_routers()
         for policy in self.policies:
-            if policy not in allowed:
+            if policy not in registered:
                 raise ValueError(
-                    f"policy {policy!r} is not available in {self.mode!r} mode "
-                    f"(choose from {allowed})"
+                    f"policy {policy!r} is not a registered router "
+                    f"(choose from {registered})"
                 )
+        if self.contention and self.mode != "simulate":
+            raise ValueError("contention requires simulate mode (offline has no circuit phase)")
+        if self.flits < 0:
+            raise ValueError("flits must be non-negative")
         for axis in ("mesh_shapes", "policies", "fault_counts", "fault_intervals",
                      "lams", "traffic_sizes", "seeds"):
             if not getattr(self, axis):
@@ -159,6 +178,8 @@ class ExperimentSpec:
                     messages=messages,
                     seed=seed,
                     cell_seed=cell_seed,
+                    contention=self.contention,
+                    flits=self.flits,
                 )
                 index += 1
 
@@ -174,5 +195,7 @@ class ExperimentSpec:
             "lams": list(self.lams),
             "traffic_sizes": list(self.traffic_sizes),
             "seeds": list(self.seeds),
+            "contention": self.contention,
+            "flits": self.flits,
             "cell_count": self.cell_count,
         }

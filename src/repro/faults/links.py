@@ -22,16 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
 
-from repro.mesh.coords import is_adjacent
+from repro.mesh.coords import canonical_link, is_adjacent
 from repro.mesh.topology import Mesh
 
 Coord = Tuple[int, ...]
 Link = Tuple[Coord, Coord]
-
-
-def _canonical(u: Sequence[int], v: Sequence[int]) -> Link:
-    a, b = tuple(u), tuple(v)
-    return (a, b) if a <= b else (b, a)
 
 
 @dataclass(frozen=True)
@@ -51,7 +46,7 @@ class LinkFault:
     @property
     def canonical(self) -> Link:
         """Order-independent link identifier."""
-        return _canonical(self.u, self.v)
+        return canonical_link(self.u, self.v)
 
 
 @dataclass(frozen=True)
@@ -74,7 +69,7 @@ class LinkFaultSet:
 
     def is_faulty(self, u: Sequence[int], v: Sequence[int]) -> bool:
         """True iff the link between ``u`` and ``v`` is faulty."""
-        return _canonical(u, v) in self.links
+        return canonical_link(u, v) in self.links
 
     def __len__(self) -> int:
         return len(self.links)

@@ -12,6 +12,18 @@ from typing import Iterator, Sequence, Tuple
 from repro.mesh.directions import Direction
 
 Coord = Tuple[int, ...]
+Link = Tuple[Coord, Coord]
+
+
+def canonical_link(u: Sequence[int], v: Sequence[int]) -> Link:
+    """Order-independent identifier of the link between ``u`` and ``v``.
+
+    The same helper backs link-fault bookkeeping, circuit reservations and
+    the simulator's live reservation table, so a link is named identically
+    everywhere regardless of traversal direction.
+    """
+    a, b = tuple(u), tuple(v)
+    return (a, b) if a <= b else (b, a)
 
 
 def add(coord: Sequence[int], delta: Sequence[int]) -> Coord:

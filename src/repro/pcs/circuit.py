@@ -3,18 +3,22 @@
 After a routing probe reaches its destination, the nodes on its final stack
 hold a reserved circuit from source to destination.  :class:`Circuit`
 captures that path (with backtracked prefixes already released, exactly as
-PCS releases links when a probe retreats), and :class:`CircuitTable` tracks
-link occupancy so experiments can also measure contention between
-concurrently set-up circuits.
+PCS releases links when a probe retreats), :class:`CircuitTable` tracks
+link occupancy between fully set-up circuits, and
+:class:`LiveCircuitLedger` is the simulator's per-step view: it mirrors the
+partial circuit each in-flight probe holds (reserving links as the probe
+advances, releasing them on backtrack) and keeps delivered circuits
+reserved through their data-transmission hold time.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
 from repro.core.routing import RouteOutcome, RouteResult
-from repro.mesh.coords import is_adjacent
+from repro.mesh.coords import canonical_link, is_adjacent
 
 Coord = Tuple[int, ...]
 Link = Tuple[Coord, Coord]
@@ -22,11 +26,6 @@ Link = Tuple[Coord, Coord]
 
 class ReservationError(RuntimeError):
     """Raised when a circuit cannot be reserved (conflict or invalid path)."""
-
-
-def _canonical_link(u: Coord, v: Coord) -> Link:
-    """Undirected link identifier (order-independent)."""
-    return (u, v) if u <= v else (v, u)
 
 
 @dataclass(frozen=True)
@@ -68,6 +67,26 @@ class Circuit:
                 stack.append(node)
         return cls(tuple(stack))
 
+    @classmethod
+    def from_stack(cls, stack: Sequence[Sequence[int]]) -> "Circuit":
+        """The circuit held by a probe's final stack, loop excursions dropped.
+
+        A probe stack contains no backtracked prefixes (those were popped),
+        but a forward move back onto the probe's own path leaves the loop on
+        the stack; the effective data circuit cuts each loop back to the
+        first visit.  Unlike :meth:`from_route` this never looks at released
+        links — every link of the result is on the given stack — which is
+        the invariant the live reservation ledger relies on at delivery.
+        """
+        out: List[Coord] = []
+        for node in (tuple(n) for n in stack):
+            if node in out:
+                while out and out[-1] != node:
+                    out.pop()
+            else:
+                out.append(node)
+        return cls(tuple(out))
+
     @property
     def source(self) -> Coord:
         """First node of the circuit."""
@@ -87,7 +106,7 @@ class Circuit:
     def links(self) -> FrozenSet[Link]:
         """Undirected links reserved by the circuit."""
         return frozenset(
-            _canonical_link(u, v) for u, v in zip(self.path, self.path[1:])
+            canonical_link(u, v) for u, v in zip(self.path, self.path[1:])
         )
 
 
@@ -129,3 +148,127 @@ class CircuitTable:
     def circuits(self) -> List[Circuit]:
         """Circuits currently holding reservations."""
         return list(self._circuits)
+
+
+@dataclass
+class LiveCircuitLedger:
+    """Per-step link reservations for circuits in setup and in transfer.
+
+    Each in-flight probe is a *holder* (an opaque integer).  The ledger
+    mirrors the probe's partial circuit: links are reserved as the probe
+    advances and released as it backtracks (:meth:`sync`).  When a probe
+    delivers, its final circuit stays reserved until a release step derived
+    from the transfer model (:meth:`hold_until` / :meth:`release_expired`);
+    a failed or expired setup releases everything at once
+    (:meth:`release`).  :meth:`is_blocked` is the contention predicate the
+    routing probes consult — a link is blocked for everyone but its holder.
+    """
+
+    _link_holder: Dict[Link, int] = field(default_factory=dict)
+    #: Per holder, the held links with a traversal count: a probe that loops
+    #: back over its own circuit crosses the same undirected link twice, and
+    #: one backtrack must then not release it for good.
+    _held: Dict[int, Dict[Link, int]] = field(default_factory=dict)
+    #: Min-heap of ``(release_step, holder)`` for circuits in transfer.
+    _expiries: List[Tuple[int, int]] = field(default_factory=list)
+
+    def blocked_for(self, holder: int):
+        """The :data:`~repro.core.routing.LinkBlocked` predicate of ``holder``."""
+        link_holder = self._link_holder
+
+        def link_blocked(u: Coord, v: Coord) -> bool:
+            owner = link_holder.get(canonical_link(u, v))
+            return owner is not None and owner != holder
+
+        return link_blocked
+
+    def is_blocked(self, holder: int, u: Sequence[int], v: Sequence[int]) -> bool:
+        """True iff the ``u``–``v`` link is reserved by a different holder."""
+        owner = self._link_holder.get(canonical_link(u, v))
+        return owner is not None and owner != holder
+
+    def reserve_link(self, holder: int, u: Coord, v: Coord) -> None:
+        """Reserve the ``u``–``v`` link for ``holder`` (one forward hop).
+
+        Crossing a link the holder already has (a probe looping back over
+        its own circuit) bumps its traversal count; taking a foreign link is
+        a bookkeeping bug.
+        """
+        link = canonical_link(u, v)
+        owner = self._link_holder.get(link)
+        if owner is not None and owner != holder:
+            raise ReservationError(
+                f"link {link} is held by {owner}, cannot be taken by {holder}"
+            )
+        self._link_holder[link] = holder
+        held = self._held.setdefault(holder, {})
+        held[link] = held.get(link, 0) + 1
+
+    def release_link(self, holder: int, u: Coord, v: Coord) -> None:
+        """Release one traversal of the ``u``–``v`` link (one backtrack)."""
+        link = canonical_link(u, v)
+        held = self._held.get(holder)
+        if held is None or link not in held:
+            return
+        held[link] -= 1
+        if held[link] <= 0:
+            del held[link]
+            if self._link_holder.get(link) == holder:
+                del self._link_holder[link]
+            if not held:
+                del self._held[holder]
+
+    def sync(self, holder: int, stack: Sequence[Coord]) -> None:
+        """Make ``holder``'s reservation exactly the links along ``stack``.
+
+        The probes only ever move onto links they saw unreserved, so taking
+        over a link held by someone else indicates a bookkeeping bug.
+        """
+        links: Dict[Link, int] = {}
+        for u, v in zip(stack, stack[1:]):
+            link = canonical_link(u, v)
+            links[link] = links.get(link, 0) + 1
+        held = self._held.get(holder, {})
+        for link in held.keys() - links.keys():
+            if self._link_holder.get(link) == holder:
+                del self._link_holder[link]
+        for link in links.keys() - held.keys():
+            owner = self._link_holder.get(link)
+            if owner is not None and owner != holder:
+                raise ReservationError(
+                    f"link {link} is held by {owner}, cannot be taken by {holder}"
+                )
+            self._link_holder[link] = holder
+        if links:
+            self._held[holder] = links
+        else:
+            self._held.pop(holder, None)
+
+    def release(self, holder: int) -> None:
+        """Drop every link ``holder`` has reserved."""
+        for link in self._held.pop(holder, ()):
+            if self._link_holder.get(link) == holder:
+                del self._link_holder[link]
+
+    def hold_until(self, holder: int, release_step: int) -> None:
+        """Keep ``holder``'s current links reserved until ``release_step``."""
+        heapq.heappush(self._expiries, (release_step, holder))
+
+    def release_expired(self, step: int) -> int:
+        """Release every timed hold due at ``step``; returns how many."""
+        released = 0
+        while self._expiries and self._expiries[0][0] <= step:
+            _, holder = heapq.heappop(self._expiries)
+            self.release(holder)
+            released += 1
+        return released
+
+    @property
+    def reserved_links(self) -> int:
+        """Number of links currently reserved (setup + transfer)."""
+        return len(self._link_holder)
+
+    @property
+    def active_holders(self) -> int:
+        """Number of holders currently reserving at least one link."""
+        return len(self._held)

@@ -11,6 +11,7 @@ figure; this module provides that conversion.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.core.routing import RouteResult
@@ -45,6 +46,16 @@ class TransferModel:
         pipeline_fill = self.data_hop_latency * circuit.length
         streaming = self.flit_injection_latency * message_flits
         return pipeline_fill + streaming
+
+    def hold_steps(self, circuit: Circuit, message_flits: int) -> int:
+        """Simulation steps a delivered circuit stays reserved for its data.
+
+        One simulation step is one setup hop (``setup_hop_latency``), so the
+        data latency is converted at that rate and rounded up; even an empty
+        message holds the circuit for one step (the acknowledgment flit).
+        """
+        latency = self.data_latency(circuit, message_flits)
+        return max(1, math.ceil(latency / self.setup_hop_latency))
 
     def end_to_end(self, result: RouteResult, message_flits: int) -> float:
         """Total latency: path setup plus pipelined data transmission."""

@@ -1,0 +1,83 @@
+"""Registry adapters for the Algorithm-3 (probe-based) policies.
+
+``limited-global``, ``boundary-only``, ``no-disabled-avoid`` and
+``no-information`` are all the same backtracking PCS probe run with
+different :class:`~repro.core.routing.RoutingPolicy` flags; this adapter
+derives the offline information view each flag set assumes and hands the
+simulator plain :class:`~repro.core.routing.RoutingProbe` objects, so the
+online hot path is exactly the pre-registry code path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.block_construction import LabelingState
+from repro.core.distribution import distribute_information
+from repro.core.routing import (
+    InformationProvider,
+    RouteResult,
+    RoutingPolicy,
+    RoutingProbe,
+    route_offline,
+)
+from repro.core.state import InformationState
+from repro.mesh.topology import Mesh
+from repro.routing.registry import Router
+
+Coord = Tuple[int, ...]
+
+
+class AlgorithmRouter(Router):
+    """Algorithm 3 under a specific :class:`RoutingPolicy`."""
+
+    def __init__(self, policy: RoutingPolicy) -> None:
+        self.policy = policy
+        self.name = policy.name
+        #: One-slot cache of the offline information view, keyed by labeling
+        #: identity + mutation counter so batch routing over one stabilized
+        #: configuration distributes the information exactly once.
+        self._view: Optional[Tuple[LabelingState, int, InformationProvider]] = None
+
+    def offline_view(self, mesh: Mesh, labeling: LabelingState) -> InformationProvider:
+        """The information state this policy routes against offline.
+
+        Policies that read block or boundary records get the full
+        distributed information; an information-free policy routes against
+        the bare labeling (adjacent-fault detection only).
+        """
+        cached = self._view
+        if (
+            cached is not None
+            and cached[0] is labeling
+            and cached[1] == labeling.mutations
+        ):
+            return cached[2]
+        if self.policy.use_block_info or self.policy.use_boundary_info:
+            info: InformationProvider = distribute_information(mesh, labeling)
+        else:
+            info = InformationState(mesh=mesh, labeling=labeling)
+        self._view = (labeling, labeling.mutations, info)
+        return info
+
+    def route(
+        self,
+        mesh: Mesh,
+        labeling: LabelingState,
+        source: Sequence[int],
+        destination: Sequence[int],
+        *,
+        max_steps: Optional[int] = None,
+    ) -> RouteResult:
+        return route_offline(
+            self.offline_view(mesh, labeling),
+            source,
+            destination,
+            policy=self.policy,
+            max_steps=max_steps,
+        )
+
+    def probe(
+        self, mesh: Mesh, source: Sequence[int], destination: Sequence[int]
+    ) -> RoutingProbe:
+        return RoutingProbe(mesh, source, destination, policy=self.policy)

@@ -1,0 +1,309 @@
+"""Global-information routing: the idealized baseline, offline and online.
+
+Every node is assumed to know the entire fault configuration at all times,
+so the router can always follow a shortest path in the fault-free subgraph.
+This is the ideal the traditional "routing table at every node" approach
+strives for; the paper's model trades a small number of extra detours for
+not having to maintain that table.  Two avoidance levels are provided:
+
+* avoiding *faulty* nodes only (the true shortest usable path);
+* avoiding whole *blocks* (faulty + disabled nodes), which is what a
+  block-based global scheme would do and is the fairer comparison for the
+  limited-global model.
+
+The registry router additionally steps online: its :class:`GlobalPathProbe`
+advances one hop per simulation step along the currently shortest path,
+replanning whenever the labeling changes — or, under contention, whenever a
+reserved circuit fences off the planned link.  A probe with no usable path
+left because of *faults* reports the destination unreachable; one fenced in
+only by *reservations* waits for a circuit to release.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.block_construction import LabelingState
+from repro.core.routing import LinkBlocked, RouteOutcome, RouteResult
+from repro.mesh.topology import Mesh
+from repro.routing.registry import Router, SimulationInfo
+
+Coord = Tuple[int, ...]
+
+
+def shortest_usable_path(
+    mesh: Mesh,
+    blocked: Set[Coord],
+    source: Coord,
+    destination: Coord,
+    *,
+    link_blocked: Optional[LinkBlocked] = None,
+) -> Optional[List[Coord]]:
+    """BFS shortest path avoiding ``blocked`` nodes (and reserved links).
+
+    Deterministic: neighbors are expanded in :meth:`Mesh.neighbors` order,
+    so repeated calls against the same configuration pick the same path.
+    """
+    if source in blocked or destination in blocked:
+        return None
+    if source == destination:
+        return [source]
+    parents: Dict[Coord, Coord] = {}
+    seen: Set[Coord] = {source}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for neighbor in mesh.neighbors(node):
+            if neighbor in seen or neighbor in blocked:
+                continue
+            if link_blocked is not None and link_blocked(node, neighbor):
+                continue
+            parents[neighbor] = node
+            if neighbor == destination:
+                path = [neighbor]
+                while path[-1] != source:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return path
+            seen.add(neighbor)
+            frontier.append(neighbor)
+    return None
+
+
+class GlobalInformationRouter:
+    """Shortest-path router with full knowledge of the fault configuration.
+
+    This is the legacy offline interface (kept for the baselines package);
+    the registry adapter :class:`GlobalInfoRouter` builds on it.
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        labeling: LabelingState,
+        *,
+        avoid_blocks: bool = True,
+    ) -> None:
+        self.mesh = mesh
+        self.labeling = labeling
+        self.avoid_blocks = avoid_blocks
+
+    def blocked_nodes(self) -> Set[Coord]:
+        """Nodes the router refuses to traverse."""
+        if self.avoid_blocks:
+            return set(self.labeling.block_nodes)
+        return set(self.labeling.faulty_nodes)
+
+    def shortest_path(
+        self, source: Sequence[int], destination: Sequence[int]
+    ) -> Optional[List[Coord]]:
+        """BFS shortest path avoiding the blocked nodes, or ``None``."""
+        source = self.mesh.validate(source)
+        destination = self.mesh.validate(destination)
+        return shortest_usable_path(
+            self.mesh, self.blocked_nodes(), source, destination
+        )
+
+    def route(
+        self, source: Sequence[int], destination: Sequence[int]
+    ) -> RouteResult:
+        """Route result along the globally-known shortest path."""
+        source = self.mesh.validate(source)
+        destination = self.mesh.validate(destination)
+        path = self.shortest_path(source, destination)
+        min_distance = self.mesh.distance(source, destination)
+        if path is None:
+            return RouteResult(
+                outcome=RouteOutcome.UNREACHABLE,
+                path=[source],
+                source=source,
+                destination=destination,
+                min_distance=min_distance,
+                forward_hops=0,
+                backtrack_hops=0,
+            )
+        return RouteResult(
+            outcome=RouteOutcome.DELIVERED,
+            path=path,
+            source=source,
+            destination=destination,
+            min_distance=min_distance,
+            forward_hops=len(path) - 1,
+            backtrack_hops=0,
+        )
+
+
+def route_global_information(
+    mesh: Mesh,
+    labeling: LabelingState,
+    source: Sequence[int],
+    destination: Sequence[int],
+    *,
+    avoid_blocks: bool = True,
+) -> RouteResult:
+    """Convenience wrapper around :class:`GlobalInformationRouter`."""
+    return GlobalInformationRouter(mesh, labeling, avoid_blocks=avoid_blocks).route(
+        source, destination
+    )
+
+
+class GlobalPathProbe:
+    """One-hop-per-step follower of the globally-known shortest path.
+
+    Contention-free against a static labeling this reproduces the offline
+    BFS route exactly: the plan is computed once at the first step and then
+    followed hop by hop.  The plan is recomputed from the probe's current
+    node whenever the labeling mutates or a reserved circuit blocks the
+    planned link; a global router never backtracks, so its held circuit is
+    simply its path so far.
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        source: Sequence[int],
+        destination: Sequence[int],
+        *,
+        avoid_blocks: bool = True,
+    ) -> None:
+        self.mesh = mesh
+        self.source = mesh.validate(source)
+        self.destination = mesh.validate(destination)
+        self.avoid_blocks = avoid_blocks
+        self.path: List[Coord] = [self.source]
+        self.forward_hops = 0
+        self.blocked_hops = 0
+        self.setup_retries = 0
+        self.outcome: Optional[RouteOutcome] = None
+        if self.source == self.destination:
+            self.outcome = RouteOutcome.DELIVERED
+        #: Remaining nodes to visit (current node excluded); ``None`` forces
+        #: a replan at the next step.
+        self._plan: Optional[List[Coord]] = None
+        self._plan_mutations: Optional[int] = None
+
+    @property
+    def current(self) -> Coord:
+        """Node currently holding the probe."""
+        return self.path[-1]
+
+    @property
+    def done(self) -> bool:
+        """True when the probe reached a terminal outcome."""
+        return self.outcome is not None
+
+    @property
+    def circuit_stack(self) -> Sequence[Coord]:
+        """The held circuit: the whole path (global probes never backtrack)."""
+        return self.path
+
+    def _blocked_nodes(self, labeling: LabelingState) -> Set[Coord]:
+        if self.avoid_blocks:
+            return labeling.block_nodes
+        return labeling.faulty_nodes
+
+    def step(
+        self,
+        info: SimulationInfo,
+        *,
+        link_blocked: Optional[LinkBlocked] = None,
+    ) -> Optional[RouteOutcome]:
+        """Advance one hop along the current plan, replanning as needed."""
+        if self.done:
+            return self.outcome
+        labeling = info.labeling
+        current = self.path[-1]
+        if self._plan is None or self._plan_mutations != labeling.mutations:
+            if not self._replan(labeling, current, link_blocked):
+                return self.outcome
+        assert self._plan is not None
+        nxt = self._plan[0]
+        if link_blocked is not None and link_blocked(current, nxt):
+            # A circuit grabbed the planned link since the last replan.
+            self.blocked_hops += 1
+            if not self._replan(labeling, current, link_blocked):
+                return self.outcome
+            nxt = self._plan[0]
+        self._plan.pop(0)
+        self.path.append(nxt)
+        self.forward_hops += 1
+        if nxt == self.destination:
+            self.outcome = RouteOutcome.DELIVERED
+        return self.outcome
+
+    def _replan(
+        self,
+        labeling: LabelingState,
+        current: Coord,
+        link_blocked: Optional[LinkBlocked],
+    ) -> bool:
+        """Recompute the plan from ``current``; False when no hop is possible.
+
+        Unreachable because of faults is terminal; fenced in only by
+        reservations means wait (count a setup retry, keep no plan so the
+        next step replans again).
+        """
+        blocked = self._blocked_nodes(labeling)
+        plan = shortest_usable_path(
+            self.mesh, blocked, current, self.destination, link_blocked=link_blocked
+        )
+        if plan is not None:
+            self._plan = plan[1:]
+            self._plan_mutations = labeling.mutations
+            return True
+        if link_blocked is not None and (
+            shortest_usable_path(self.mesh, blocked, current, self.destination)
+            is not None
+        ):
+            self.setup_retries += 1
+            self._plan = None
+            return False
+        self.outcome = RouteOutcome.UNREACHABLE
+        return False
+
+    def result(self) -> RouteResult:
+        """Snapshot of the probe's statistics (terminal or not)."""
+        outcome = self.outcome or RouteOutcome.EXHAUSTED
+        return RouteResult(
+            outcome=outcome,
+            path=list(self.path),
+            source=self.source,
+            destination=self.destination,
+            min_distance=self.mesh.distance(self.source, self.destination),
+            forward_hops=self.forward_hops,
+            backtrack_hops=0,
+            blocked_hops=self.blocked_hops,
+            setup_retries=self.setup_retries,
+        )
+
+
+class GlobalInfoRouter(Router):
+    """Registry adapter for global-information routing (offline + online)."""
+
+    name = "global-information"
+
+    def __init__(self, *, avoid_blocks: bool = True) -> None:
+        self.avoid_blocks = avoid_blocks
+
+    def route(
+        self,
+        mesh: Mesh,
+        labeling: LabelingState,
+        source: Sequence[int],
+        destination: Sequence[int],
+        *,
+        max_steps: Optional[int] = None,
+    ) -> RouteResult:
+        # max_steps is accepted for interface uniformity; a BFS route never
+        # wanders, so there is nothing to cut short.
+        return GlobalInformationRouter(
+            mesh, labeling, avoid_blocks=self.avoid_blocks
+        ).route(source, destination)
+
+    def probe(
+        self, mesh: Mesh, source: Sequence[int], destination: Sequence[int]
+    ) -> GlobalPathProbe:
+        return GlobalPathProbe(
+            mesh, source, destination, avoid_blocks=self.avoid_blocks
+        )

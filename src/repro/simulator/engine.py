@@ -25,16 +25,19 @@ detour statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.core.block_construction import extract_blocks, labeling_round
 from repro.core.boundary import BoundaryProtocol
 from repro.core.identification import IdentificationProtocol
-from repro.core.routing import RoutingPolicy, RoutingProbe, probe_step_limit
+from repro.core.routing import RouteOutcome, RoutingPolicy, probe_step_limit
 from repro.core.state import InformationState
 from repro.faults.schedule import DynamicFaultSchedule, FaultEventKind
 from repro.mesh.regions import Region
 from repro.mesh.topology import Mesh
+from repro.pcs.circuit import Circuit, LiveCircuitLedger
+from repro.pcs.transfer import TransferModel
+from repro.routing import AlgorithmRouter, Router, SetupProbe, resolve_router
 from repro.simulator.stats import ConvergenceRecord, MessageRecord, SimulationStats
 from repro.simulator.traffic import TrafficMessage
 
@@ -52,7 +55,24 @@ class SimulationConfig:
     max_steps: int = 20_000
 
     #: Routing policy used for every probe (limited-global by default).
+    #: Ignored when ``router`` names a registry entry.
     policy: RoutingPolicy = field(default_factory=RoutingPolicy.limited_global)
+
+    #: Registry name of the router driving every probe (any entry of
+    #: :func:`repro.routing.available_routers`, e.g. ``"static-block"`` or
+    #: ``"global-information"``).  ``None`` falls back to ``policy``.
+    router: Optional[str] = None
+
+    #: When True the simulator runs the PCS circuit phase: every in-flight
+    #: probe keeps the links of its partial circuit reserved, reserved links
+    #: are unavailable to other probes (forcing walk-around/backtrack), and
+    #: a delivered circuit stays reserved for a ``transfer``-derived hold
+    #: time driven by each message's ``flits``.
+    contention: bool = False
+
+    #: Latency model converting a delivered circuit + message length into
+    #: the hold time of the data-transmission phase.
+    transfer: TransferModel = field(default_factory=TransferModel)
 
     #: When True, information for the *initial* fault set is fully
     #: distributed before step 0, matching the paper's assumption that the
@@ -70,6 +90,10 @@ class SimulationConfig:
             raise ValueError("λ (lam) must be at least 1")
         if self.max_steps < 1:
             raise ValueError("max_steps must be positive")
+        if self.max_probe_lifetime is not None and self.max_probe_lifetime < 1:
+            raise ValueError("max_probe_lifetime must be at least 1 (or None)")
+        if self.router is not None:
+            resolve_router(self.router)  # unknown names fail fast, with the menu
 
 
 @dataclass
@@ -110,12 +134,32 @@ class Simulator:
         self.info = InformationState.fresh(mesh, self.schedule.initial_faults)
         self.stats = SimulationStats()
 
+        #: The router driving every probe; registry-resolved when the config
+        #: names one, otherwise the config's raw policy (the historic path).
+        self.router: Router = (
+            resolve_router(self.config.router)
+            if self.config.router is not None
+            else AlgorithmRouter(self.config.policy)
+        )
+        #: Live link reservations of the PCS circuit phase (``None`` keeps
+        #: the contention-free behavior byte-identical to the pre-circuit
+        #: engine).
+        self.circuits: Optional[LiveCircuitLedger] = (
+            LiveCircuitLedger() if self.config.contention else None
+        )
+        self._next_holder = 0
+
         self._identified_extents: Set[Region] = set()
         self._identifications: List[IdentificationProtocol] = []
         self._boundaries: List[BoundaryProtocol] = []
         self._pending_convergence: List[ConvergenceRecord] = []
-        self._probes: List[Tuple[TrafficMessage, RoutingProbe]] = []
+        self._probes: List[Tuple[TrafficMessage, SetupProbe, int]] = []
         self._next_traffic_index = 0
+        self._probe_lifetime = (
+            self.config.max_probe_lifetime
+            if self.config.max_probe_lifetime is not None
+            else probe_step_limit(mesh)
+        )
         self._labeling_dirty = bool(self.schedule.initial_faults)
         self._step = 0
         # Events are time-sorted, so the last one bounds the schedule; keeping
@@ -252,26 +296,59 @@ class Simulator:
         ):
             message = self.traffic[self._next_traffic_index]
             self._next_traffic_index += 1
-            probe = RoutingProbe(
-                self.mesh,
-                message.source,
-                message.destination,
-                policy=self.config.policy,
-            )
-            self._probes.append((message, probe))
+            probe = self.router.probe(self.mesh, message.source, message.destination)
+            self._probes.append((message, probe, self._next_holder))
+            self._next_holder += 1
 
-        lifetime = self.config.max_probe_lifetime or probe_step_limit(self.mesh)
-        remaining: List[Tuple[TrafficMessage, RoutingProbe]] = []
-        for message, probe in self._probes:
-            outcome = probe.step(self.info)
+        ledger = self.circuits
+        if ledger is not None:
+            # Data transmissions finishing before this step free their links.
+            ledger.release_expired(t)
+
+        lifetime = self._probe_lifetime
+        remaining: List[Tuple[TrafficMessage, SetupProbe, int]] = []
+        for message, probe, holder in self._probes:
+            if ledger is None:
+                outcome = probe.step(self.info)
+            else:
+                stack = probe.circuit_stack
+                prev_len, prev_tail = len(stack), stack[-1]
+                outcome = probe.step(self.info, link_blocked=ledger.blocked_for(holder))
+                # Mirror the probe's partial circuit incrementally (a probe
+                # moves at most one hop per step): a forward hop reserves its
+                # link — visible to probes later in this loop — and a
+                # backtrack releases the link just retreated over.
+                stack = probe.circuit_stack
+                delta = len(stack) - prev_len
+                if delta == 1:
+                    ledger.reserve_link(holder, stack[-2], stack[-1])
+                elif delta == -1:
+                    ledger.release_link(holder, prev_tail, stack[-1])
+                elif delta != 0:
+                    ledger.sync(holder, stack)  # multi-hop probes: full resync
             expired = (t - message.start_time) >= lifetime
             if outcome is not None or expired:
                 self.stats.messages.append(
                     MessageRecord(message=message, result=probe.result(), finish_step=t)
                 )
+                if ledger is not None:
+                    if outcome is RouteOutcome.DELIVERED:
+                        # The data circuit is the held stack with loop
+                        # excursions cut back to their first visit; the
+                        # excursion links (all still held) are released
+                        # before the data-phase hold.
+                        circuit = Circuit.from_stack(probe.circuit_stack)
+                        ledger.sync(holder, circuit.path)
+                        hold = self.config.transfer.hold_steps(circuit, message.flits)
+                        ledger.hold_until(holder, t + hold)
+                        self.stats.circuits_reserved += 1
+                    else:
+                        ledger.release(holder)
             else:
-                remaining.append((message, probe))
+                remaining.append((message, probe, holder))
         self._probes = remaining
+        if ledger is not None:
+            self.stats.record_occupancy(ledger.reserved_links)
 
         self._step += 1
         self.stats.steps = self._step
@@ -285,6 +362,8 @@ class Simulator:
             or self._labeling_dirty
             or self._next_traffic_index < len(self.traffic)
             or self._last_event_time >= self._step
+            # Circuits still holding links are data transfers in flight.
+            or (self.circuits is not None and self.circuits.reserved_links > 0)
         )
 
     def run(self, *, min_steps: int = 0) -> SimulationResult:
@@ -294,9 +373,11 @@ class Simulator:
         ):
             self.step()
         # Flush probes still in flight when the step budget ran out.
-        for message, probe in self._probes:
+        for message, probe, holder in self._probes:
             self.stats.messages.append(
                 MessageRecord(message=message, result=probe.result(), finish_step=None)
             )
+            if self.circuits is not None:
+                self.circuits.release(holder)
         self._probes = []
         return SimulationResult(stats=self.stats, information=self.info, config=self.config)

@@ -76,6 +76,16 @@ class MessageRecord:
         """Extra steps over the fault-free minimal distance."""
         return self.result.detours
 
+    @property
+    def blocked_hops(self) -> int:
+        """Candidate hops denied to this probe by reserved circuits."""
+        return self.result.blocked_hops
+
+    @property
+    def setup_retries(self) -> int:
+        """Times this probe retreated/waited with every direction reserved."""
+        return self.result.setup_retries
+
 
 @dataclass
 class SimulationStats:
@@ -85,6 +95,21 @@ class SimulationStats:
     convergence: List[ConvergenceRecord] = field(default_factory=list)
     steps: int = 0
     total_rounds: int = 0
+
+    # -- circuit-contention accounting (all zero when contention is off) --
+    #: Delivered circuits that entered their data-transmission hold.
+    circuits_reserved: int = 0
+    #: Sum over steps of the number of links reserved at the end of the
+    #: step — the time integral of circuit occupancy.
+    circuit_link_steps: int = 0
+    #: Largest number of links simultaneously reserved.
+    peak_reserved_links: int = 0
+
+    def record_occupancy(self, reserved_links: int) -> None:
+        """Fold one step's end-of-step reservation count into the totals."""
+        self.circuit_link_steps += reserved_links
+        if reserved_links > self.peak_reserved_links:
+            self.peak_reserved_links = reserved_links
 
     # ------------------------------------------------------------------ #
     # message-level aggregates
@@ -126,6 +151,26 @@ class SimulationStats:
         return mean(m.result.hops for m in delivered)
 
     # ------------------------------------------------------------------ #
+    # contention aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def total_blocked_hops(self) -> int:
+        """Candidate hops denied by reserved circuits, over all probes."""
+        return sum(m.blocked_hops for m in self.messages)
+
+    @property
+    def total_setup_retries(self) -> int:
+        """Reservation-forced retreats/waits, over all probes."""
+        return sum(m.setup_retries for m in self.messages)
+
+    @property
+    def mean_reserved_links(self) -> float:
+        """Mean links reserved per step (circuit hold occupancy)."""
+        if not self.steps:
+            return 0.0
+        return self.circuit_link_steps / self.steps
+
+    # ------------------------------------------------------------------ #
     # convergence aggregates
     # ------------------------------------------------------------------ #
     @property
@@ -154,4 +199,9 @@ class SimulationStats:
             "mean_labeling_rounds": self.mean_labeling_rounds,
             "max_convergence_rounds": float(self.max_total_convergence_rounds),
             "steps": float(self.steps),
+            "blocked_hops": float(self.total_blocked_hops),
+            "setup_retries": float(self.total_setup_retries),
+            "circuits_reserved": float(self.circuits_reserved),
+            "mean_reserved_links": self.mean_reserved_links,
+            "peak_reserved_links": float(self.peak_reserved_links),
         }

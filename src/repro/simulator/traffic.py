@@ -24,9 +24,15 @@ class TrafficMessage:
     #: Optional label used by experiments to group messages (e.g. "before
     #: fault", "during convergence").
     tag: Optional[str] = None
+    #: Message length in flits; with contention enabled the delivered
+    #: circuit stays reserved for a hold time derived from this length
+    #: through the :class:`~repro.pcs.transfer.TransferModel`.
+    flits: int = 64
 
     def __post_init__(self) -> None:
         if self.start_time < 0:
             raise ValueError("start_time must be non-negative")
+        if self.flits < 0:
+            raise ValueError("flits must be non-negative")
         object.__setattr__(self, "source", tuple(self.source))
         object.__setattr__(self, "destination", tuple(self.destination))

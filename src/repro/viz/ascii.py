@@ -18,7 +18,7 @@ figures.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.core.block_construction import LabelingState
 from repro.core.routing import RouteResult

@@ -6,9 +6,18 @@
 * :mod:`repro.workloads.scenarios` — the concrete configurations used in
   the paper's figures (Figure 1 fault set, Figure 4 recovery, parametric
   blocks for Figures 5/6, two-block configurations for Figure 3(d)) plus
-  composite dynamic-fault experiment builders.
+  composite dynamic-fault experiment builders;
+* :mod:`repro.workloads.congestion` — hotspot/transpose/bursty workloads
+  that deliberately contend for links, exercising the simulator's PCS
+  circuit phase.
 """
 
+from repro.workloads.congestion import (
+    bursty_scenario,
+    hotspot_pairs,
+    hotspot_scenario,
+    transpose_scenario,
+)
 from repro.workloads.scenarios import (
     DynamicRoutingScenario,
     figure1_scenario,
@@ -26,13 +35,17 @@ from repro.workloads.traffic import (
 
 __all__ = [
     "DynamicRoutingScenario",
+    "bursty_scenario",
     "corner_to_corner_pairs",
     "figure1_scenario",
     "figure4_recovery_scenario",
+    "hotspot_pairs",
+    "hotspot_scenario",
     "parametric_block_scenario",
     "random_dynamic_scenario",
     "random_pairs",
     "to_traffic",
     "transpose_pairs",
+    "transpose_scenario",
     "two_block_scenario",
 ]

@@ -9,7 +9,7 @@ faults producing the block ``[3:5, 5:6, 3:4]``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 

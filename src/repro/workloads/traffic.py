@@ -98,18 +98,24 @@ def to_traffic(
     start_time: int = 0,
     spacing: int = 0,
     tag: Optional[str] = None,
+    flits: int = 64,
 ) -> List[TrafficMessage]:
     """Convert pairs into simulator traffic.
 
     ``spacing`` injects successive messages that many steps apart (0 injects
-    them all at ``start_time``).
+    them all at ``start_time``); ``flits`` sets every message's data-phase
+    length (circuit hold time under contention).
     """
     messages: List[TrafficMessage] = []
     time = start_time
     for source, destination in pairs:
         messages.append(
             TrafficMessage(
-                source=source, destination=destination, start_time=time, tag=tag
+                source=source,
+                destination=destination,
+                start_time=time,
+                tag=tag,
+                flits=flits,
             )
         )
         time += spacing

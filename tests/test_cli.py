@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.routing import available_routers
 
 
 class TestRouteCommand:
@@ -172,9 +173,36 @@ class TestSweepCommand:
             "limited-global", "global-information",
         }
 
-    def test_sweep_rejects_offline_policy_in_simulate_mode(self):
+    def test_sweep_rejects_unknown_policy(self):
         with pytest.raises(SystemExit):
-            main(["sweep", "--policies", "global-information"])
+            main(["sweep", "--policies", "not-a-policy"])
+
+    def test_sweep_simulate_accepts_every_registered_policy(self, capsys):
+        """The registry makes every policy sweepable in simulator mode."""
+        code = main(
+            [
+                "sweep", "--shape", "6,6", "--faults", "2", "--messages", "3",
+                "--policies", ",".join(available_routers()),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {c["policy"] for c in payload["cells"]} == set(available_routers())
+
+    def test_sweep_contention_flag(self, capsys):
+        code = main(
+            [
+                "sweep", "--shape", "6,6", "--faults", "2", "--messages", "4",
+                "--policies", "limited-global", "--contention", "--flits", "200",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["contention"] is True
+        assert payload["spec"]["flits"] == 200
+        for cell in payload["cells"]:
+            assert cell["contention"] is True
+            assert "blocked_hops" in cell["metrics"]
 
 
 class TestConvergenceCommand:

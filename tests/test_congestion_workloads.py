@@ -1,0 +1,83 @@
+"""Tests for the hotspot/transpose/bursty congestion workloads."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.topology import Mesh
+from repro.workloads.congestion import (
+    bursty_scenario,
+    hotspot_pairs,
+    hotspot_scenario,
+    transpose_scenario,
+)
+
+
+class TestHotspotPairs:
+    def test_fraction_targets_hotspot(self):
+        mesh = Mesh.cube(10, 2)
+        rng = np.random.default_rng(7)
+        pairs = hotspot_pairs(mesh, 20, rng, fraction=0.5, min_distance=2)
+        hot = (5, 5)
+        assert sum(1 for _, d in pairs if d == hot) == 10
+        assert len(pairs) == 20
+        for source, destination in pairs:
+            assert mesh.distance(source, destination) >= 2
+
+    def test_explicit_hotspot_and_exclusions(self):
+        mesh = Mesh.cube(8, 2)
+        rng = np.random.default_rng(0)
+        hot = (1, 1)
+        pairs = hotspot_pairs(
+            mesh, 10, rng, hotspot=hot, fraction=1.0, exclude=[(0, 0)], min_distance=3
+        )
+        assert all(d == hot for _, d in pairs)
+        assert all(s != (0, 0) for s, _ in pairs)
+
+    def test_fraction_validation(self):
+        mesh = Mesh.cube(8, 2)
+        with pytest.raises(ValueError):
+            hotspot_pairs(mesh, 4, np.random.default_rng(0), fraction=1.5)
+
+    def test_deterministic_in_seed(self):
+        mesh = Mesh.cube(8, 2)
+        a = hotspot_pairs(mesh, 12, np.random.default_rng(3))
+        b = hotspot_pairs(mesh, 12, np.random.default_rng(3))
+        assert a == b
+
+
+class TestScenarios:
+    def test_hotspot_scenario_traffic_and_flits(self):
+        scenario = hotspot_scenario(shape=(8, 8), messages=10, flits=128, seed=1)
+        assert len(scenario.traffic) == 10
+        assert all(m.flits == 128 for m in scenario.traffic)
+        assert all(m.tag == "hotspot" for m in scenario.traffic)
+
+    def test_transpose_scenario_pairs_are_transposes(self):
+        scenario = transpose_scenario(radix=6, n_dims=2, limit=8)
+        assert 0 < len(scenario.traffic) <= 8
+        for message in scenario.traffic:
+            assert message.destination == tuple(reversed(message.source))
+            assert message.start_time == 0  # maximally contended by default
+
+    def test_bursty_scenario_groups_arrivals(self):
+        scenario = bursty_scenario(
+            shape=(8, 8), bursts=3, burst_size=4, burst_interval=10, seed=5
+        )
+        starts = sorted({m.start_time for m in scenario.traffic})
+        assert starts == [0, 10, 20]
+        for start in starts:
+            assert sum(1 for m in scenario.traffic if m.start_time == start) == 4
+
+    def test_bursty_validation(self):
+        with pytest.raises(ValueError):
+            bursty_scenario(bursts=0)
+
+    def test_scenarios_deterministic_in_seed(self):
+        a = bursty_scenario(seed=9)
+        b = bursty_scenario(seed=9)
+        assert a.traffic == b.traffic
+        assert list(a.schedule.events) == list(b.schedule.events)
+
+    def test_dynamic_faults_layer_on_top(self):
+        scenario = hotspot_scenario(shape=(10, 10), messages=6, dynamic_faults=3, seed=2)
+        assert len(scenario.schedule.events) == 3

@@ -57,7 +57,9 @@ class TestSpec:
         with pytest.raises(ValueError):
             small_spec(mode="nope")
         with pytest.raises(ValueError):
-            small_spec(policies=("global-information",))  # offline-only policy
+            small_spec(policies=("not-a-policy",))  # unregistered router
+        with pytest.raises(ValueError):
+            small_spec(mode="offline", lams=(1,), contention=True)
         with pytest.raises(ValueError):
             small_spec(mesh_shapes=((1, 8),))
         with pytest.raises(ValueError):
@@ -66,12 +68,13 @@ class TestSpec:
         # would only be replicates in disguise.
         with pytest.raises(ValueError):
             small_spec(mode="offline", lams=(1, 2))
-        # ... but offline mode accepts the full policy set.
+        # ... and every registered policy is valid in both modes.
         small_spec(
             mode="offline",
             policies=("global-information", "static-block"),
             lams=(1,),
         )
+        small_spec(policies=("global-information", "static-block"))
 
 
 class TestRunner:

@@ -18,7 +18,6 @@ from repro.simulator.engine import SimulationConfig, Simulator
 from repro.simulator.traffic import TrafficMessage
 from repro.workloads.scenarios import (
     FIGURE1_EXTENT,
-    FIGURE1_FAULTS,
     FIGURE2_CORNER,
     figure1_scenario,
     figure4_recovery_scenario,

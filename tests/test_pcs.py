@@ -48,6 +48,16 @@ class TestCircuit:
         assert circuit.length <= result.hops
         assert circuit.length >= result.min_distance
 
+    def test_from_stack_collapses_loop_excursions(self):
+        """A stack that loops back onto itself cuts the loop at first visit."""
+        stack = [(0, 0), (1, 0), (1, 1), (0, 1), (0, 0), (0, 1)]
+        circuit = Circuit.from_stack(stack)
+        assert circuit.path == ((0, 0), (0, 1))
+
+    def test_from_stack_loop_free_is_identity(self):
+        stack = [(0, 0), (1, 0), (1, 1)]
+        assert Circuit.from_stack(stack).path == tuple(stack)
+
     def test_from_failed_route_raises(self, mesh2d):
         result = RouteResult(
             outcome=RouteOutcome.UNREACHABLE,

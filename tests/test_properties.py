@@ -2,10 +2,10 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.core.block_construction import build_blocks, extract_blocks, labeling_round
+from repro.core.block_construction import build_blocks, labeling_round
 from repro.core.distribution import converged_information
 from repro.core.identification import oracle_identify
-from repro.core.routing import RouteOutcome, RoutingPolicy, route_offline
+from repro.core.routing import RouteOutcome, route_offline
 from repro.core.safety import is_safe_source, minimal_path_exists, shortest_path_length
 from repro.core.state import InformationState
 from repro.faults.status import NodeStatus

@@ -1,0 +1,206 @@
+"""Tests for the unified router registry (repro.routing).
+
+Covers registry completeness (every policy name the CLI and the experiment
+spec accept resolves), the online/offline parity contract (a contention-free
+single-message simulation reproduces the offline route exactly, for every
+registered policy) and the online-only behaviors of the static-block and
+global-information routers.
+"""
+
+import pytest
+
+from repro.cli import _build_parser
+from repro.core.block_construction import build_blocks
+from repro.core.routing import RouteOutcome
+from repro.experiments import OFFLINE_POLICIES, SIMULATE_POLICIES, ExperimentSpec
+from repro.faults.injection import dynamic_schedule
+from repro.faults.schedule import DynamicFaultSchedule
+from repro.mesh.topology import Mesh
+from repro.routing import (
+    AlgorithmRouter,
+    Router,
+    available_routers,
+    register_router,
+    resolve_router,
+    route_with,
+)
+from repro.simulator.engine import SimulationConfig, Simulator
+from repro.simulator.traffic import TrafficMessage
+
+EXPECTED_POLICIES = {
+    "limited-global",
+    "static-block",
+    "boundary-only",
+    "no-disabled-avoid",
+    "no-information",
+    "global-information",
+}
+
+FAULTS = [(3, 5), (4, 5), (5, 5), (4, 6)]
+
+
+def _labeling(mesh):
+    return build_blocks(mesh, FAULTS).state
+
+
+class TestRegistryCompleteness:
+    def test_expected_policies_registered(self):
+        assert set(available_routers()) == EXPECTED_POLICIES
+
+    def test_every_spec_policy_resolves(self):
+        """Every policy name the experiment spec accepts must resolve."""
+        for name in (*SIMULATE_POLICIES, *OFFLINE_POLICIES):
+            router = resolve_router(name)
+            assert isinstance(router, Router)
+            assert router.name == name
+
+    def test_spec_accepts_every_registered_policy_in_both_modes(self):
+        for mode in ("simulate", "offline"):
+            spec = ExperimentSpec(mode=mode, policies=available_routers())
+            assert len(spec.policies) == len(EXPECTED_POLICIES)
+
+    def test_cli_policy_choices_match_registry(self):
+        """Every policy name the CLI accepts resolves (and vice versa)."""
+        parser = _build_parser()
+        subparsers = next(
+            a for a in parser._actions if hasattr(a, "choices") and a.choices
+        )
+        for command in ("route", "simulate"):
+            sub = subparsers.choices[command]
+            policy_action = next(a for a in sub._actions if a.dest == "policy")
+            assert tuple(policy_action.choices) == available_routers()
+
+    def test_unknown_name_raises_with_menu(self):
+        with pytest.raises(ValueError, match="limited-global"):
+            resolve_router("nope")
+
+    def test_resolve_returns_fresh_instances(self):
+        assert resolve_router("static-block") is not resolve_router("static-block")
+
+    def test_duplicate_registration_guard(self):
+        with pytest.raises(ValueError):
+            register_router("limited-global", lambda: None)
+
+
+class TestOfflineOnlineParity:
+    """Contention-free single-message simulation == offline route, per policy."""
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_POLICIES))
+    @pytest.mark.parametrize(
+        "source,destination",
+        [((0, 5), (9, 5)), ((2, 2), (7, 9)), ((0, 0), (9, 9))],
+    )
+    def test_parity(self, name, source, destination):
+        mesh = Mesh.cube(10, 2)
+        offline = route_with(name, mesh, _labeling(mesh), source, destination)
+        sim = Simulator(
+            mesh,
+            schedule=DynamicFaultSchedule.static(FAULTS),
+            traffic=[TrafficMessage(source=source, destination=destination)],
+            config=SimulationConfig(router=name),
+        )
+        record = sim.run().stats.messages[0]
+        assert record.result.outcome == offline.outcome
+        assert record.result.path == offline.path
+        assert record.result.hops == offline.hops
+        assert record.result.backtrack_hops == offline.backtrack_hops
+        assert record.blocked_hops == 0
+        assert record.setup_retries == 0
+
+    def test_parity_unreachable_destination(self):
+        """A destination walled in by faults is unreachable both ways."""
+        mesh = Mesh.cube(8, 2)
+        walls = [(0, 1), (1, 1), (1, 0)]
+        labeling = build_blocks(mesh, walls).state
+        for name in sorted(EXPECTED_POLICIES):
+            offline = route_with(name, mesh, labeling, (7, 7), (0, 0))
+            sim = Simulator(
+                mesh,
+                schedule=DynamicFaultSchedule.static(walls),
+                traffic=[TrafficMessage(source=(7, 7), destination=(0, 0))],
+                config=SimulationConfig(router=name),
+            )
+            record = sim.run().stats.messages[0]
+            assert offline.outcome is not RouteOutcome.DELIVERED
+            assert record.result.outcome == offline.outcome, name
+
+
+class TestAlgorithmRouterViews:
+    def test_no_information_router_uses_bare_view(self):
+        mesh = Mesh.cube(8, 2)
+        labeling = _labeling(mesh)
+        router = resolve_router("no-information")
+        view = router.offline_view(mesh, labeling)
+        assert view.information_cells() == 0
+
+    def test_offline_view_cached_per_labeling_state(self):
+        mesh = Mesh.cube(8, 2)
+        labeling = _labeling(mesh)
+        router = resolve_router("limited-global")
+        assert router.offline_view(mesh, labeling) is router.offline_view(mesh, labeling)
+        labeling.make_faulty((1, 1))
+        assert router.offline_view(mesh, labeling).blocks_known_at((1, 2))
+
+
+class TestStaticBlockOnline:
+    def test_adjacent_view_rebuilds_on_labeling_change(self):
+        mesh = Mesh.cube(8, 2)
+        labeling = _labeling(mesh)
+        router = resolve_router("static-block")
+        first = router.adjacent_view(mesh, labeling)
+        assert router.adjacent_view(mesh, labeling) is first
+        labeling.make_faulty((1, 1))
+        second = router.adjacent_view(mesh, labeling)
+        assert second is not first
+
+    def test_probe_sees_only_adjacent_information(self):
+        """Far from the block the static-block probe holds no records."""
+        mesh = Mesh.cube(10, 2)
+        labeling = _labeling(mesh)
+        router = resolve_router("static-block")
+        view = router.adjacent_view(mesh, labeling)
+        assert not view.blocks_known_at((0, 0))
+        assert view.blocks_known_at((2, 5))  # frame node next to the block
+
+
+class TestGlobalInformationOnline:
+    def test_replans_when_fault_appears_mid_flight(self):
+        """A fault dropped onto the planned path forces a live replan."""
+        mesh = Mesh.cube(10, 2)
+        schedule = dynamic_schedule([(5, 5)], start_time=2)
+        sim = Simulator(
+            mesh,
+            schedule=schedule,
+            traffic=[TrafficMessage(source=(0, 5), destination=(9, 5))],
+            config=SimulationConfig(router="global-information"),
+        )
+        record = sim.run().stats.messages[0]
+        assert record.delivered
+        assert (5, 5) not in record.result.path
+        # The straight row was the plan until the fault appeared.
+        assert record.result.path[0] == (0, 5)
+        assert record.result.backtrack_hops == 0
+
+    def test_unreachable_when_walled_in(self):
+        mesh = Mesh.cube(6, 2)
+        walls = [(0, 1), (1, 1), (1, 0)]
+        sim = Simulator(
+            mesh,
+            schedule=DynamicFaultSchedule.static(walls),
+            traffic=[TrafficMessage(source=(5, 5), destination=(0, 0))],
+            config=SimulationConfig(router="global-information"),
+        )
+        record = sim.run().stats.messages[0]
+        assert record.result.outcome is RouteOutcome.UNREACHABLE
+
+
+class TestSimulationConfigRouter:
+    def test_unknown_router_rejected_at_config_time(self):
+        with pytest.raises(ValueError, match="registered"):
+            SimulationConfig(router="nope")
+
+    def test_policy_fallback_used_when_router_unset(self):
+        mesh = Mesh.cube(6, 2)
+        sim = Simulator(mesh, config=SimulationConfig())
+        assert isinstance(sim.router, AlgorithmRouter)
+        assert sim.router.name == "limited-global"

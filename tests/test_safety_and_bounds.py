@@ -22,7 +22,7 @@ from repro.core.safety import (
 from repro.faults.injection import uniform_random_faults
 from repro.mesh.regions import Region
 from repro.mesh.topology import Mesh
-from repro.workloads.scenarios import FIGURE1_EXTENT, FIGURE1_FAULTS
+from repro.workloads.scenarios import FIGURE1_FAULTS
 
 
 class TestSourceDestinationBox:

@@ -2,15 +2,14 @@
 
 import pytest
 
-from repro.core.routing import RouteOutcome, RoutingPolicy
-from repro.faults.schedule import DynamicFaultSchedule, FaultEvent, FaultEventKind
+from repro.core.routing import RouteOutcome
+from repro.faults.schedule import FaultEventKind
 from repro.faults.injection import dynamic_schedule
 from repro.mesh.topology import Mesh
 from repro.simulator.engine import SimulationConfig, Simulator
 from repro.simulator.traffic import TrafficMessage
 from repro.workloads.scenarios import (
     FIGURE1_EXTENT,
-    FIGURE1_FAULTS,
     figure1_scenario,
     figure4_recovery_scenario,
 )
@@ -22,11 +21,19 @@ class TestSimulationConfig:
             SimulationConfig(lam=0)
         with pytest.raises(ValueError):
             SimulationConfig(max_steps=0)
+        # An explicit 0 used to be silently treated as "unset" by the
+        # engine's `or` fallback; it is now rejected outright.
+        with pytest.raises(ValueError):
+            SimulationConfig(max_probe_lifetime=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(max_probe_lifetime=-1)
 
     def test_defaults(self):
         config = SimulationConfig()
         assert config.lam == 2
         assert config.policy.use_boundary_info
+        assert config.router is None
+        assert not config.contention
 
 
 class TestFaultFreeSimulation:
@@ -169,6 +176,15 @@ class TestExecutionModel:
         result = Simulator(mesh2d, traffic=traffic, config=config).run()
         record = result.stats.messages[0]
         assert record.result.outcome is RouteOutcome.EXHAUSTED
+
+    def test_probe_lifetime_of_one_is_honored(self, mesh2d):
+        """The smallest explicit lifetime cuts probes after one step."""
+        config = SimulationConfig(max_probe_lifetime=1)
+        traffic = [TrafficMessage(source=(0, 0), destination=(9, 9))]
+        result = Simulator(mesh2d, traffic=traffic, config=config).run()
+        record = result.stats.messages[0]
+        assert record.result.outcome is RouteOutcome.EXHAUSTED
+        assert record.result.hops <= 2
 
     def test_max_steps_flushes_in_flight_probes(self, mesh2d):
         config = SimulationConfig(max_steps=3)
