@@ -1,0 +1,101 @@
+"""Open-loop saturation curves + the per-node batched-stepping speedup.
+
+Two things are measured here:
+
+* **Saturation curve** — the accepted-throughput / latency curve of the
+  limited-global policy under open-loop transpose traffic on an 8x8 mesh
+  (the headline table of the throughput subsystem);
+* **Batched stepping** — the simulator's per-node decision batching
+  (``SimulationConfig(batch_by_node=True)``, the default) against the
+  historic per-probe loop, on a high-load contended steady-state workload
+  where many probes are in flight at once.  The two paths are asserted to
+  produce identical statistics before timing them.
+"""
+
+import numpy as np
+from _common import print_table
+
+from repro.faults.injection import uniform_random_faults
+from repro.faults.schedule import DynamicFaultSchedule
+from repro.mesh.topology import Mesh
+from repro.simulator.engine import SimulationConfig, Simulator
+from repro.throughput import MeasurementWindows, run_throughput_point
+from repro.workloads.traffic import to_traffic, transpose_pairs
+
+
+def _high_load_run(batch_by_node: bool):
+    """One contended steady-state run: full transpose batch, static faults."""
+    mesh = Mesh.cube(12, 2)
+    rng = np.random.default_rng(7)
+    faults = uniform_random_faults(mesh, 6, rng, margin=1)
+    schedule = DynamicFaultSchedule.static(faults)
+    fault_set = set(faults)
+    pairs = [
+        (s, d)
+        for s, d in transpose_pairs(mesh)
+        if s not in fault_set and d not in fault_set
+    ]
+    traffic = to_traffic(pairs, start_time=0, spacing=0, tag="bench", flits=32)
+    sim = Simulator(
+        mesh,
+        schedule=schedule,
+        traffic=traffic,
+        config=SimulationConfig(
+            router="limited-global", contention=True, batch_by_node=batch_by_node
+        ),
+    )
+    return sim.run().stats
+
+
+def test_batched_matches_per_probe_loop():
+    """Parity gate for the timed comparison below."""
+    assert _high_load_run(True).summary() == _high_load_run(False).summary()
+
+
+def test_bench_step_batched(benchmark):
+    stats = benchmark(lambda: _high_load_run(True))
+    print(
+        f"\nbatched stepping: {stats.steps} steps, "
+        f"{len(stats.messages)} messages, delivery {stats.delivery_rate:.2f}"
+    )
+
+
+def test_bench_step_per_probe(benchmark):
+    stats = benchmark(lambda: _high_load_run(False))
+    print(
+        f"\nper-probe loop:   {stats.steps} steps, "
+        f"{len(stats.messages)} messages, delivery {stats.delivery_rate:.2f}"
+    )
+
+
+def test_bench_saturation_curve(benchmark):
+    """The headline load curve (also printed as a table)."""
+    windows = MeasurementWindows(warmup=30, measure=120, drain=240)
+    rates = (0.002, 0.005, 0.01, 0.02, 0.04, 0.08)
+
+    def sweep():
+        return [
+            run_throughput_point(
+                (8, 8), "limited-global", "transpose", rate,
+                faults=4, seed=0, windows=windows,
+            )
+            for rate in rates
+        ]
+
+    results = benchmark(sweep)
+    print_table(
+        "Open-loop saturation: limited-global, transpose, 8x8 mesh, 4 faults",
+        ["rate", "offered", "accepted", "delivery", "mean lat", "p99 lat", "backlog"],
+        [
+            (
+                f"{r.rate:.3f}",
+                f"{r.offered_load:.4f}",
+                f"{r.accepted_throughput:.4f}",
+                f"{r.delivery_rate:.2f}",
+                f"{r.mean_setup_latency:.1f}",
+                f"{r.p99_setup_latency:.0f}",
+                r.unfinished,
+            )
+            for r in results
+        ],
+    )

@@ -5,7 +5,9 @@
 * :mod:`repro.analysis.convergence` — measuring ``a_i`` / ``b_i`` / ``c_i``
   for given block sizes and dimensions, plus the closed-form expectations;
 * :mod:`repro.analysis.metrics` — routing-quality metrics, policy
-  comparison tables and the memory-footprint accounting.
+  comparison tables and the memory-footprint accounting;
+* :mod:`repro.analysis.throughput` — load-curve tables over throughput-mode
+  experiment batches and the monotone/flattening shape checks.
 """
 
 from repro.analysis.convergence import (
@@ -30,8 +32,15 @@ from repro.analysis.metrics import (
     limited_global_cells,
     summarize_routes,
 )
+from repro.analysis.throughput import (
+    CURVE_COLUMNS,
+    flattens,
+    is_monotone_nondecreasing,
+    throughput_rows,
+)
 
 __all__ = [
+    "CURVE_COLUMNS",
     "ConvergenceMeasurement",
     "DetourBoundParameters",
     "PolicyComparison",
@@ -40,10 +49,13 @@ __all__ = [
     "expected_boundary_rounds",
     "expected_identification_rounds",
     "expected_labeling_rounds",
+    "flattens",
     "global_table_cells",
+    "is_monotone_nondecreasing",
     "limited_global_cells",
     "measure_convergence",
     "summarize_routes",
+    "throughput_rows",
     "theorem3_distance_bounds",
     "theorem4_interval_bound",
     "theorem4_max_detours",

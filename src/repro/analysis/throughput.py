@@ -1,0 +1,102 @@
+"""Analysis of open-loop throughput sweeps.
+
+Table/curve helpers over a ``throughput``-mode
+:class:`~repro.experiments.results.BatchResult` plus the two shape checks
+the saturation methodology relies on (and the tests assert):
+
+* :func:`is_monotone_nondecreasing` — an accepted-throughput curve should
+  rise with offered load up to saturation (small tolerance for measurement
+  noise);
+* :func:`flattens` — past the knee the curve should stop tracking offered
+  load: the tail's marginal efficiency (extra accepted per extra offered)
+  collapses relative to the zero-load efficiency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.results import BatchResult
+
+#: Metric columns of one load-curve row, in display order.
+CURVE_COLUMNS = (
+    "rate",
+    "offered_load",
+    "accepted_throughput",
+    "delivery_rate",
+    "mean_setup_latency",
+    "p99_setup_latency",
+    "unfinished",
+)
+
+
+def throughput_rows(batch: BatchResult) -> Dict[str, List[Dict[str, float]]]:
+    """Per-policy load-curve rows (ascending rate, replicate seeds averaged).
+
+    Accepts any ``throughput``-mode batch; each row carries the
+    :data:`CURVE_COLUMNS` metrics.
+    """
+    rows: Dict[str, List[Dict[str, float]]] = {}
+    policies: List[str] = []
+    rates: List[float] = []
+    for result in batch.results:
+        if result.cell.policy not in policies:
+            policies.append(result.cell.policy)
+        if result.cell.rate not in rates:
+            rates.append(result.cell.rate)
+    for policy in policies:
+        policy_rows: List[Dict[str, float]] = []
+        for rate in sorted(rates):
+            cells = batch.select(policy=policy, rate=rate)
+            if not cells:
+                continue
+            row = {
+                column: sum(c.metrics[column] for c in cells) / len(cells)
+                for column in CURVE_COLUMNS
+                if column in cells[0].metrics
+            }
+            row["rate"] = rate
+            policy_rows.append(row)
+        rows[policy] = policy_rows
+    return rows
+
+
+def is_monotone_nondecreasing(
+    values: Sequence[float], *, tolerance: float = 0.1
+) -> bool:
+    """True iff the sequence never drops by more than ``tolerance`` (relative).
+
+    Each value is compared against the running maximum, so a noisy plateau
+    passes while a genuine collapse does not.
+    """
+    running_max = float("-inf")
+    for value in values:
+        if running_max > 0 and value < running_max * (1.0 - tolerance):
+            return False
+        running_max = max(running_max, value)
+    return True
+
+
+def flattens(
+    offered: Sequence[float],
+    accepted: Sequence[float],
+    *,
+    threshold: float = 0.25,
+) -> bool:
+    """True iff the curve's tail no longer tracks the offered load.
+
+    Below saturation, each extra unit of offered load yields roughly one
+    extra unit of accepted throughput (the zero-load efficiency,
+    ``accepted[0] / offered[0]``).  A saturated curve has flattened: the
+    marginal efficiency over the last segment drops under ``threshold``
+    times the zero-load efficiency.
+    """
+    if len(offered) != len(accepted) or len(offered) < 3:
+        return False
+    if offered[0] <= 0 or offered[-1] <= offered[-2]:
+        return False
+    base_efficiency = accepted[0] / offered[0]
+    if base_efficiency <= 0:
+        return False
+    marginal = (accepted[-1] - accepted[-2]) / (offered[-1] - offered[-2])
+    return marginal < threshold * base_efficiency

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction library.
 
-Five subcommands cover the workflows the experiments use:
+Six subcommands cover the workflows the experiments use:
 
 * ``repro-mesh route``       — route one source/destination pair against a
   static fault set, under any policy;
@@ -11,7 +11,10 @@ Five subcommands cover the workflows the experiments use:
 * ``repro-mesh convergence`` — measure a/b/c for a parametric block;
 * ``repro-mesh sweep``       — run a declarative experiment grid through
   :mod:`repro.experiments`, optionally across worker processes, and emit
-  canonical JSON.
+  canonical JSON;
+* ``repro-mesh throughput``  — open-loop saturation measurement: sweep
+  injection rates (or binary-search the saturation point) and print
+  per-policy load-latency/throughput curves.
 
 The mesh is either the uniform ``--radix``/``--dims`` cube or an explicit
 rectangular ``--shape 16,8,4`` (the two options are mutually exclusive).
@@ -30,12 +33,14 @@ import numpy as np
 
 from repro.analysis.convergence import measure_convergence
 from repro.analysis.metrics import compare_policies, contention_row
+from repro.analysis.throughput import throughput_rows
 from repro.core.block_construction import build_blocks
 from repro.experiments import MODES, ExperimentSpec, run_batch
 from repro.faults.injection import uniform_random_faults
 from repro.mesh.topology import Mesh
 from repro.routing import available_routers, resolve_router
 from repro.simulator.engine import SimulationConfig, Simulator
+from repro.throughput import MeasurementWindows, load_curves, saturation_for_policy
 from repro.workloads.congestion import (
     bursty_scenario,
     hotspot_scenario,
@@ -83,6 +88,13 @@ def _parse_int_list(text: str) -> Tuple[int, ...]:
         return tuple(int(p) for p in text.split(",") if p.strip())
     except ValueError:
         raise argparse.ArgumentTypeError(f"expected comma-separated integers, got {text!r}")
+
+
+def _parse_float_list(text: str) -> Tuple[float, ...]:
+    try:
+        return tuple(float(p) for p in text.split(",") if p.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated numbers, got {text!r}")
 
 
 def _add_mesh_arguments(parser: argparse.ArgumentParser) -> None:
@@ -206,8 +218,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="simulate mode: run the PCS circuit phase in every cell",
     )
     sweep.add_argument(
-        "--flits", type=int, default=64,
-        help="message length in flits for every generated message",
+        "--flits", type=_parse_int_list, default=(64,),
+        help="message lengths in flits (sweepable axis, e.g. 16,64,256)",
+    )
+    sweep.add_argument(
+        "--scenarios", default=None,
+        help="comma-separated traffic families (simulate mode: "
+        "random,hotspot,transpose,bursty)",
     )
     sweep.add_argument("--faults", type=_parse_int_list, default=(4,), help="fault counts, e.g. 4,8")
     sweep.add_argument("--interval", type=_parse_int_list, default=(10,), help="steps between faults (d_i)")
@@ -217,6 +234,52 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=1, help="worker processes (1 = serial)")
     sweep.add_argument("--name", default="sweep", help="spec name (seeds the cell derivation)")
     sweep.add_argument("--out", default=None, help="write JSON here instead of stdout")
+
+    throughput = sub.add_parser(
+        "throughput",
+        help="open-loop saturation measurement: per-policy load-latency/"
+        "throughput curves (repro.throughput)",
+    )
+    throughput.add_argument(
+        "--shape", action="append", default=None,
+        help="mesh shape, e.g. 8,8 (default; mutually exclusive with --radix/--dims)",
+    )
+    throughput.add_argument("--radix", type=int, default=None, help="uniform mesh radix")
+    throughput.add_argument("--dims", type=int, default=None, help="uniform mesh dimensionality")
+    throughput.add_argument("--seed", type=int, default=0, help="random seed")
+    throughput.add_argument(
+        "--policy", default="limited-global",
+        help="comma-separated policy names (registered routers: "
+        f"{','.join(available_routers())})",
+    )
+    throughput.add_argument(
+        "--scenario", choices=("uniform", "transpose", "hotspot"), default="uniform",
+        help="open-loop spatial pattern",
+    )
+    throughput.add_argument(
+        "--injection", choices=("bernoulli", "bursty"), default="bernoulli",
+        help="open-loop injection process",
+    )
+    throughput.add_argument(
+        "--rates", type=_parse_float_list,
+        default=(0.002, 0.005, 0.01, 0.02, 0.04, 0.08),
+        help="offered injection rates per node per step, e.g. 0.01,0.05",
+    )
+    throughput.add_argument(
+        "--saturation", action="store_true",
+        help="binary-search the saturation rate per policy instead of "
+        "sweeping --rates",
+    )
+    throughput.add_argument("--faults", type=int, default=4, help="static fault count")
+    throughput.add_argument("--lam", type=int, default=2, help="information rounds per step (λ)")
+    throughput.add_argument("--flits", type=int, default=64, help="message length in flits")
+    throughput.add_argument("--warmup", type=int, default=64, help="warmup steps (uncounted)")
+    throughput.add_argument("--measure", type=int, default=256, help="measurement window steps")
+    throughput.add_argument("--drain", type=int, default=512, help="drain budget steps")
+    throughput.add_argument("--seeds", type=_parse_int_list, default=None,
+                            help="replicate seeds (defaults to --seed)")
+    throughput.add_argument("--workers", type=int, default=1, help="worker processes (1 = serial)")
+    throughput.add_argument("--out", default=None, help="write curve JSON here")
 
     return parser
 
@@ -348,12 +411,16 @@ def _cmd_convergence(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     shapes = _resolve_shapes(args.shape or [], args.radix, args.dims)
+    scenarios: Tuple[str, ...] = ()
+    if args.scenarios:
+        scenarios = tuple(s.strip() for s in args.scenarios.split(",") if s.strip())
     try:
         spec = ExperimentSpec(
             name=args.name,
             mode=args.mode,
             mesh_shapes=shapes,
             policies=tuple(p.strip() for p in args.policies.split(",") if p.strip()),
+            scenarios=scenarios,
             fault_counts=args.faults,
             fault_intervals=args.interval,
             lams=args.lam,
@@ -380,12 +447,93 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_throughput(args: argparse.Namespace) -> int:
+    if args.shape:
+        shapes = _resolve_shapes(args.shape, args.radix, args.dims)
+    elif args.radix is not None or args.dims is not None:
+        shapes = _resolve_shapes([], args.radix, args.dims)
+    else:
+        shapes = ((8, 8),)  # saturation curves want a modest default mesh
+    if len(shapes) != 1:
+        raise argparse.ArgumentTypeError(
+            "throughput measures one mesh at a time; give --shape once"
+        )
+    (shape,) = shapes
+    policies = tuple(p.strip() for p in args.policy.split(",") if p.strip())
+    windows = MeasurementWindows(
+        warmup=args.warmup, measure=args.measure, drain=args.drain
+    )
+    seeds = args.seeds if args.seeds is not None else (args.seed,)
+
+    if args.saturation:
+        for policy in policies:
+            rate, probed = saturation_for_policy(
+                shape,
+                policy,
+                pattern=args.scenario,
+                faults=args.faults,
+                lam=args.lam,
+                flits=args.flits,
+                seed=seeds[0],
+                injection=args.injection,
+                windows=windows,
+            )
+            print(f"policy {policy}: saturation rate ~ {rate:.4f} msg/node/step")
+            _print_curve(policy, [p.__dict__ for p in probed])
+        return 0
+
+    try:
+        batch, curves = load_curves(
+            shape,
+            policies,
+            args.rates,
+            pattern=args.scenario,
+            faults=args.faults,
+            lam=args.lam,
+            flits=args.flits,
+            seeds=seeds,
+            injection=args.injection,
+            windows=windows,
+            workers=args.workers,
+        )
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    rows = throughput_rows(batch)
+    for policy in policies:
+        _print_curve(policy, rows[policy])
+        knee = curves[policy].knee()
+        if knee is not None:
+            print(
+                f"  knee ~ rate {knee.rate:.4f} "
+                f"(accepted {knee.accepted_throughput:.4f}, "
+                f"mean latency {knee.mean_setup_latency:.1f})"
+            )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(batch.to_json() + "\n")
+        print(f"wrote {len(batch)} cell results to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _print_curve(policy: str, rows: Sequence[dict]) -> None:
+    print(f"policy {policy}:")
+    header = f"  {'rate':>8} {'offered':>9} {'accepted':>9} {'deliv':>6} {'lat':>8} {'p99':>7}"
+    print(header)
+    for row in rows:
+        print(
+            f"  {row['rate']:>8.4f} {row['offered_load']:>9.4f} "
+            f"{row['accepted_throughput']:>9.4f} {row['delivery_rate']:>6.2f} "
+            f"{row['mean_setup_latency']:>8.1f} {row['p99_setup_latency']:>7.0f}"
+        )
+
+
 _COMMANDS = {
     "route": _cmd_route,
     "simulate": _cmd_simulate,
     "compare": _cmd_compare,
     "convergence": _cmd_convergence,
     "sweep": _cmd_sweep,
+    "throughput": _cmd_throughput,
 }
 
 

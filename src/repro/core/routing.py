@@ -206,6 +206,112 @@ BACKTRACK = "backtrack"
 #: backtracking, and the reservations are transient, so the probe waits).
 WAIT = "wait"
 
+#: Sentinel decision value meaning "restart the setup from scratch" — only
+#: produced under contention.  A probe driven back to its source with every
+#: direction marked used has *not* proven the destination unreachable when
+#: reservations interfered with its walk (the bookkeeping is contaminated by
+#: detours that faults alone would never have forced); it clears its header
+#: and retries, like a failed PCS setup being re-issued.
+RESTART = "restart"
+
+
+# ---------------------------------------------------------------------- #
+# per-node decision context (batched stepping)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class NodeContext:
+    """Decision inputs at one node, shared by every probe deciding there.
+
+    Everything here is a pure function of the information state and the
+    policy, never of the individual probe: the node's own status, the usable
+    outgoing directions with their neighbor statuses (faulty neighbors
+    already filtered out, in :attr:`Mesh.directions` order), and the node's
+    resolved routing geometry.  The per-probe parts of a decision (used
+    directions, incoming direction, destination-dependent ordering) are
+    applied on top by :func:`classify_directions`.
+    """
+
+    status: NodeStatus
+    #: ``(direction, neighbor, neighbor_status)`` for every in-mesh,
+    #: non-faulty neighbor, in :attr:`Mesh.directions` order.
+    usable: Tuple[Tuple[Direction, Coord, NodeStatus], ...]
+    constraints: Tuple[PrismPair, ...]
+    extent_frames: Tuple[ExtentFrame, ...]
+
+
+class DecisionCache:
+    """Per-node :class:`NodeContext` cache keyed on information mutations.
+
+    The simulator steps every in-flight probe once per simulation step; with
+    many probes in flight the per-node inputs of Algorithm 3 (neighbor
+    statuses, routing geometry) are recomputed over and over.  This cache
+    resolves them once per node and keeps them valid *across* steps until
+    the information actually mutates (a labeling status change or a
+    block/boundary record change), which at steady state means once per node
+    for the whole run.  Contexts replicate exactly what the uncached
+    classification reads, so cached and uncached decisions are identical.
+    """
+
+    def __init__(self, info: InformationProvider, policy: RoutingPolicy) -> None:
+        self.info = info
+        self.policy = policy
+        self._contexts: Dict[Coord, NodeContext] = {}
+        self._token: Optional[Tuple[int, int]] = None
+        # Attribute lookups hoisted out of the per-decision token check.
+        self._labeling = getattr(info, "labeling", None)
+        self._has_record_mutations = hasattr(info, "record_mutations")
+        #: Memo of preferred-direction sets keyed by (node, destination) —
+        #: a pure function of the mesh, so never invalidated.
+        self._preferred: Dict[Tuple[Coord, Coord], FrozenSet[Direction]] = {}
+
+    def _validity_token(self) -> Tuple[int, int]:
+        labeling = self._labeling
+        return (
+            labeling.mutations if labeling is not None else -1,
+            self.info.record_mutations if self._has_record_mutations else -1,  # type: ignore[attr-defined]
+        )
+
+    def context(self, node: Coord) -> NodeContext:
+        """The (possibly cached) decision context at ``node``."""
+        token = self._validity_token()
+        if token != self._token:
+            self._contexts.clear()
+            self._token = token
+        ctx = self._contexts.get(node)
+        if ctx is None:
+            ctx = self._build(node)
+            self._contexts[node] = ctx
+        return ctx
+
+    def preferred(self, node: Coord, destination: Coord) -> FrozenSet[Direction]:
+        """Memoized preferred-direction set for a (node, destination) pair."""
+        key = (node, destination)
+        result = self._preferred.get(key)
+        if result is None:
+            result = frozenset(self.info.mesh.preferred_directions(node, destination))
+            self._preferred[key] = result
+        return result
+
+    def _build(self, node: Coord) -> NodeContext:
+        info = self.info
+        mesh = info.mesh
+        usable: List[Tuple[Direction, Coord, NodeStatus]] = []
+        for direction in mesh.directions:
+            neighbor = mesh.neighbor(node, direction)
+            if neighbor is None:
+                continue
+            status = info.status(neighbor)
+            if status is NodeStatus.FAULTY:
+                continue  # adjacent-fault detection: never forward into a fault
+            usable.append((direction, neighbor, status))
+        constraints, frames = _routing_geometry(info, node, self.policy)
+        return NodeContext(
+            status=info.status(node),
+            usable=tuple(usable),
+            constraints=tuple(constraints),
+            extent_frames=tuple(frames),
+        )
+
 
 # ---------------------------------------------------------------------- #
 # direction classification
@@ -259,29 +365,44 @@ def classify_directions(
     policy: RoutingPolicy,
     incoming: Optional[Direction] = None,
     used: Optional[AbstractSet[Direction]] = None,
+    context: Optional[NodeContext] = None,
+    preferred: Optional[AbstractSet[Direction]] = None,
 ) -> List[Tuple[DirectionClass, Direction]]:
     """Classify and order every usable outgoing direction at ``node``.
 
     The returned list is sorted by increasing :class:`DirectionClass` (i.e.
     decreasing priority); within a class, preferred directions are ordered by
     decreasing remaining offset along their dimension, everything else by
-    ``(dim, sign)`` for determinism.
+    ``(dim, sign)`` for determinism.  ``context`` (from a
+    :class:`DecisionCache`) supplies the precomputed per-node inputs; the
+    classification is identical with or without it.
     """
     mesh = info.mesh
     node = tuple(node)
     destination = tuple(destination)
     used = used or frozenset()
-    constraints, extent_frames = _routing_geometry(info, node, policy)
-    preferred = set(mesh.preferred_directions(node, destination))
+    if context is not None:
+        constraints, extent_frames = context.constraints, context.extent_frames
+        candidates_iter: Iterable[Tuple[Direction, Coord, NodeStatus]] = context.usable
+    else:
+        constraints, extent_frames = _routing_geometry(info, node, policy)
+        fresh: List[Tuple[Direction, Coord, NodeStatus]] = []
+        for direction in mesh.directions:
+            neighbor = mesh.neighbor(node, direction)
+            if neighbor is None:
+                continue
+            neighbor_status = info.status(neighbor)
+            if neighbor_status is NodeStatus.FAULTY:
+                continue  # adjacent-fault detection: never forward into a fault
+            fresh.append((direction, neighbor, neighbor_status))
+        candidates_iter = fresh
+    if preferred is None:
+        preferred = set(mesh.preferred_directions(node, destination))
 
     entries: List[Tuple[DirectionClass, Tuple[int, int, int], Direction]] = []
-    for direction in mesh.directions:
-        neighbor = mesh.neighbor(node, direction)
-        if neighbor is None or direction in used:
+    for direction, neighbor, neighbor_status in candidates_iter:
+        if direction in used:
             continue
-        neighbor_status = info.status(neighbor)
-        if neighbor_status is NodeStatus.FAULTY:
-            continue  # adjacent-fault detection: never forward into a fault
         if incoming is not None and direction == incoming.reversed():
             cls = DirectionClass.INCOMING
         elif policy.avoid_known_disabled and neighbor_status is NodeStatus.DISABLED:
@@ -310,6 +431,7 @@ def decision_candidates(
     header: ProbeHeader,
     *,
     policy: RoutingPolicy,
+    cache: Optional[DecisionCache] = None,
 ) -> Optional[List[Tuple[DirectionClass, Direction]]]:
     """The ordered candidate directions of one Algorithm-3 decision step.
 
@@ -317,9 +439,21 @@ def decision_candidates(
     it sits on a disabled node away from its source).  This is the single
     source of truth shared by the contention-free decision and the
     contended variant, so the two can never diverge on the algorithm core.
+    ``cache`` batches the per-node inputs across probes and steps without
+    changing any decision.
     """
     node = header.current
-    if info.status(node) is NodeStatus.DISABLED and node != header.source:
+    if cache is not None:
+        context = cache.context(node)
+        status = context.status
+        preferred: Optional[AbstractSet[Direction]] = cache.preferred(
+            node, header.destination
+        )
+    else:
+        context = None
+        status = info.status(node)
+        preferred = None
+    if status is NodeStatus.DISABLED and node != header.source:
         return None
     return classify_directions(
         info,
@@ -328,6 +462,8 @@ def decision_candidates(
         policy=policy,
         incoming=header.incoming_direction,
         used=header.used_at(node),
+        context=context,
+        preferred=preferred,
     )
 
 
@@ -336,12 +472,13 @@ def routing_decision(
     header: ProbeHeader,
     *,
     policy: RoutingPolicy,
+    cache: Optional[DecisionCache] = None,
 ) -> Direction | str:
     """One application of Algorithm 3 at the probe's current node.
 
     Returns the chosen outgoing :class:`Direction`, or :data:`BACKTRACK`.
     """
-    candidates = decision_candidates(info, header, policy=policy)
+    candidates = decision_candidates(info, header, policy=policy, cache=cache)
     if not candidates:
         return BACKTRACK
     return candidates[0][1]
@@ -454,6 +591,7 @@ class RoutingProbe:
         info: InformationProvider,
         *,
         link_blocked: Optional[LinkBlocked] = None,
+        decision_cache: Optional[DecisionCache] = None,
     ) -> Optional[RouteOutcome]:
         """Advance the probe by one step (one hop forward or one backtrack).
 
@@ -461,14 +599,22 @@ class RoutingProbe:
         currently reserved by another circuit are skipped for this step only
         (they are *not* recorded as used, so a link freed later may still be
         taken).  The contention-free path is untouched when it is ``None``.
+        ``decision_cache`` shares per-node decision inputs across probes
+        (the simulator's batched stepping) without changing any decision.
         """
         if self.done:
             return self.outcome
         if link_blocked is None:
-            decision = routing_decision(info, self.header, policy=self.policy)
+            decision = routing_decision(
+                info, self.header, policy=self.policy, cache=decision_cache
+            )
         else:
-            decision = self._contended_decision(info, link_blocked)
+            decision = self._contended_decision(info, link_blocked, decision_cache)
         if decision == WAIT:
+            return None
+        if decision == RESTART:
+            self.header.used.clear()
+            self.setup_retries += 1
             return None
         if decision == BACKTRACK:
             if self.header.at_source:
@@ -491,7 +637,10 @@ class RoutingProbe:
         return self.outcome
 
     def _contended_decision(
-        self, info: InformationProvider, link_blocked: LinkBlocked
+        self,
+        info: InformationProvider,
+        link_blocked: LinkBlocked,
+        decision_cache: Optional[DecisionCache] = None,
     ) -> Direction | str:
         """Algorithm 3 decision with reserved links filtered out.
 
@@ -504,8 +653,20 @@ class RoutingProbe:
         the reservations are transient, so it waits instead of reporting the
         destination unreachable.
         """
-        candidates = decision_candidates(info, self.header, policy=self.policy)
+        candidates = decision_candidates(
+            info, self.header, policy=self.policy, cache=decision_cache
+        )
         if not candidates:
+            if (
+                candidates is not None  # None = disabled node, must retreat
+                and self.header.at_source
+                and (self.blocked_hops or self.setup_retries)
+            ):
+                # Every direction at the source is used up, but reservations
+                # interfered along the way: the exhaustion proves nothing
+                # about faults.  Re-issue the setup instead of misreporting
+                # UNREACHABLE; the probe lifetime still bounds total effort.
+                return RESTART
             return BACKTRACK
         node = self.header.current
         blocked = 0
@@ -542,18 +703,20 @@ def route_offline(
     *,
     policy: Optional[RoutingPolicy] = None,
     max_steps: Optional[int] = None,
+    decision_cache: Optional[DecisionCache] = None,
 ) -> RouteResult:
     """Run Algorithm 3 to completion against a static information snapshot.
 
     ``max_steps`` defaults to the worst-case walk length — every
     (node, direction) pair used at most once plus the matching backtracks —
     so a terminating probe is never cut short; hitting the limit yields an
-    ``EXHAUSTED`` outcome.
+    ``EXHAUSTED`` outcome.  ``decision_cache`` shares per-node decision
+    inputs across a batch of routes against the same snapshot.
     """
     mesh = info.mesh
     probe = RoutingProbe(mesh, source, destination, policy=policy)
     limit = max_steps if max_steps is not None else probe_step_limit(mesh)
     for _ in range(limit):
-        if probe.step(info) is not None:
+        if probe.step(info, decision_cache=decision_cache) is not None:
             break
     return probe.result()

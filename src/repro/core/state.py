@@ -127,6 +127,12 @@ class InformationState:
     node_boundaries: Dict[Coord, Set[BoundaryInfo]] = field(default_factory=dict)
     version: int = 0
 
+    #: Count of effective record changes (adds, cancellations, clears).
+    #: Together with ``labeling.mutations`` it forms the validity token the
+    #: per-node decision caches key on: any information change bumps one of
+    #: the two counters.
+    record_mutations: int = field(default=0, compare=False)
+
     #: Per-node cache of the resolved routing geometry (detour constraints
     #: and extent frames), invalidated whenever the node's records change.
     #: The routing algorithm reads through :meth:`detour_constraints` /
@@ -162,6 +168,7 @@ class InformationState:
             return False
         existing.add(record)
         self._route_cache.pop(node, None)
+        self.record_mutations += 1
         return True
 
     def blocks_known_at(self, node: Sequence[int]) -> FrozenSet[BlockRecord]:
@@ -183,6 +190,7 @@ class InformationState:
             return False
         existing.add(info)
         self._route_cache.pop(node, None)
+        self.record_mutations += 1
         return True
 
     def boundaries_at(self, node: Sequence[int]) -> FrozenSet[BoundaryInfo]:
@@ -251,6 +259,7 @@ class InformationState:
         live = set(current_extents)
         removed = 0
         self._route_cache.clear()
+        self.record_mutations += 1
         for node in list(self.node_blocks):
             keep = {r for r in self.node_blocks[node] if r.extent in live}
             removed += len(self.node_blocks[node]) - len(keep)
@@ -272,6 +281,7 @@ class InformationState:
         self.node_blocks.clear()
         self.node_boundaries.clear()
         self._route_cache.clear()
+        self.record_mutations += 1
 
     # ------------------------------------------------------------------ #
     # accounting

@@ -41,6 +41,8 @@ class CellResult:
             "cell_seed": self.cell.cell_seed,
             "contention": self.cell.contention,
             "flits": self.cell.flits,
+            "scenario": self.cell.scenario,
+            "rate": self.cell.rate,
             "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
         }
 

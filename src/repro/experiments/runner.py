@@ -27,6 +27,11 @@ from repro.faults.injection import clustered_faults, dynamic_schedule, uniform_r
 from repro.mesh.topology import Mesh
 from repro.routing import resolve_router
 from repro.simulator.engine import SimulationConfig, Simulator
+from repro.workloads.congestion import (
+    bursty_scenario,
+    hotspot_scenario,
+    transpose_scenario,
+)
 from repro.workloads.traffic import random_pairs, to_traffic
 
 Coord = Tuple[int, ...]
@@ -78,7 +83,46 @@ def _run_offline_cell(cell: ExperimentCell) -> Dict[str, float]:
     }
 
 
-def _run_simulate_cell(cell: ExperimentCell) -> Dict[str, float]:
+def _simulate_scenario(cell: ExperimentCell):
+    """Mesh/schedule/traffic for one simulate-mode cell's traffic family.
+
+    Every family derives from ``cell.cell_seed`` alone, so all policies at
+    one configuration point replay the identical scenario.
+    """
+    if cell.scenario == "hotspot":
+        scenario = hotspot_scenario(
+            shape=cell.shape,
+            messages=cell.messages,
+            dynamic_faults=cell.faults,
+            interval=cell.interval,
+            flits=cell.flits,
+            seed=cell.cell_seed,
+        )
+        return scenario.mesh, scenario.schedule, list(scenario.traffic)
+    if cell.scenario == "transpose":
+        scenario = transpose_scenario(
+            radix=cell.shape[0],
+            n_dims=len(cell.shape),
+            limit=cell.messages,
+            dynamic_faults=cell.faults,
+            interval=cell.interval,
+            flits=cell.flits,
+            seed=cell.cell_seed,
+        )
+        return scenario.mesh, scenario.schedule, list(scenario.traffic)
+    if cell.scenario == "bursty":
+        scenario = bursty_scenario(
+            shape=cell.shape,
+            bursts=max(1, cell.messages // 6),
+            burst_size=min(6, cell.messages),
+            dynamic_faults=cell.faults,
+            interval=cell.interval,
+            flits=cell.flits,
+            seed=cell.cell_seed,
+        )
+        return scenario.mesh, scenario.schedule, list(scenario.traffic)
+    # "random": the historic sweep construction (cell seeds now also hash
+    # the scenario/flits axes, so derived values differ from old exports).
     mesh = Mesh(cell.shape)
     rng = np.random.default_rng(cell.cell_seed)
     fault_nodes = uniform_random_faults(mesh, cell.faults, rng, margin=1)
@@ -91,6 +135,11 @@ def _run_simulate_cell(cell: ExperimentCell) -> Dict[str, float]:
         exclude=fault_nodes,
     )
     traffic = to_traffic(pairs, start_time=0, spacing=1, tag="sweep", flits=cell.flits)
+    return mesh, schedule, traffic
+
+
+def _run_simulate_cell(cell: ExperimentCell) -> Dict[str, float]:
+    mesh, schedule, traffic = _simulate_scenario(cell)
     sim = Simulator(
         mesh,
         schedule=schedule,
@@ -110,12 +159,36 @@ def _run_simulate_cell(cell: ExperimentCell) -> Dict[str, float]:
     return metrics
 
 
+def _run_throughput_cell(cell: ExperimentCell) -> Dict[str, float]:
+    # Imported lazily: repro.throughput builds on the simulator and the
+    # workloads, and its saturation module calls back into run_batch.
+    from repro.throughput.measure import MeasurementWindows, run_throughput_point
+
+    result = run_throughput_point(
+        cell.shape,
+        cell.policy,
+        cell.scenario,
+        cell.rate,
+        faults=cell.faults,
+        lam=cell.lam,
+        flits=cell.flits,
+        seed=cell.cell_seed,
+        injection=cell.injection,
+        windows=MeasurementWindows(
+            warmup=cell.warmup, measure=cell.measure, drain=cell.drain
+        ),
+    )
+    return result.to_row()
+
+
 def run_cell(cell: ExperimentCell) -> CellResult:
     """Execute one cell and return its metrics (pure function of the cell)."""
     if cell.mode == "offline":
         metrics = _run_offline_cell(cell)
     elif cell.mode == "simulate":
         metrics = _run_simulate_cell(cell)
+    elif cell.mode == "throughput":
+        metrics = _run_throughput_cell(cell)
     else:
         raise ValueError(f"unknown experiment mode {cell.mode!r}")
     return CellResult(cell=cell, metrics=metrics)

@@ -1,8 +1,9 @@
 """Declarative experiment grids.
 
 An :class:`ExperimentSpec` describes a whole family of experiments as the
-cartesian product of its axes — mesh shapes, fault counts, fault intervals,
-λ values, routing policies, traffic sizes and replicate seeds.  The spec
+cartesian product of its axes — mesh shapes, traffic scenarios, fault
+counts, fault intervals, λ values, routing policies, traffic sizes, message
+lengths (flits), open-loop injection rates and replicate seeds.  The spec
 expands into a flat list of :class:`ExperimentCell` items that the runner
 (:mod:`repro.experiments.runner`) executes serially or across processes.
 
@@ -19,14 +20,32 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 from itertools import product
-from typing import Iterator, List, Tuple
+from typing import Iterable, Iterator, List, Tuple, Union
 
 from repro.routing import available_routers
 
 #: Experiment modes: ``simulate`` runs the step-synchronous simulator with a
 #: dynamic fault schedule; ``offline`` routes a batch of messages against a
-#: fully stabilized information state.
-MODES = ("simulate", "offline")
+#: fully stabilized information state; ``throughput`` runs the open-loop
+#: windowed measurement of :mod:`repro.throughput` (circuit contention on).
+MODES = ("simulate", "offline", "throughput")
+
+#: Closed-batch traffic families sweepable in ``simulate`` mode.
+SIMULATE_SCENARIOS = ("random", "hotspot", "transpose", "bursty")
+
+#: Open-loop spatial patterns sweepable in ``throughput`` mode (must match
+#: :data:`repro.throughput.injection.PATTERNS`).
+THROUGHPUT_SCENARIOS = ("uniform", "transpose", "hotspot")
+
+#: Open-loop injection processes (``throughput`` mode).
+INJECTIONS = ("bernoulli", "bursty")
+
+#: Valid scenario values per mode (offline routes plain random batches).
+SCENARIOS_BY_MODE = {
+    "simulate": SIMULATE_SCENARIOS,
+    "offline": ("random",),
+    "throughput": THROUGHPUT_SCENARIOS,
+}
 
 
 def _registered_policies() -> Tuple[str, ...]:
@@ -69,16 +88,48 @@ class ExperimentCell:
     #: every policy at the same configuration point.
     cell_seed: int = 0
 
-    #: Whether the simulator runs the PCS circuit phase (simulate mode only).
+    #: Whether the simulator runs the PCS circuit phase (always True in
+    #: throughput mode).
     contention: bool = False
 
     #: Data-phase length of every message (circuit hold under contention).
     flits: int = 64
 
+    #: Traffic family (closed-batch scenario or open-loop spatial pattern).
+    scenario: str = "random"
+
+    #: Offered injection rate per node per step (throughput mode only).
+    rate: float = 0.0
+
+    #: Open-loop injection process and measurement windows (throughput mode
+    #: only; carried on the cell so workers need no shared state).
+    injection: str = "bernoulli"
+    warmup: int = 64
+    measure: int = 256
+    drain: int = 512
+
     def config_key(self) -> Tuple[object, ...]:
-        """The configuration axes (everything except the policy)."""
-        return (self.mode, self.shape, self.faults, self.interval, self.lam,
-                self.messages, self.seed)
+        """The configuration axes (everything except the policy).
+
+        The ``rate`` is part of the key — cells at different rates are
+        different configurations — but like the policy it is *excluded* from
+        the cell-seed derivation, so every point of a load curve shares one
+        fault layout and random stream.
+        """
+        return (self.mode, self.shape, self.scenario, self.faults, self.interval,
+                self.lam, self.messages, self.flits, self.rate, self.seed)
+
+
+def _int_axis(value: Union[int, Iterable[int]]) -> Tuple[int, ...]:
+    if isinstance(value, int):
+        return (value,)
+    return tuple(int(v) for v in value)
+
+
+def _float_axis(value: Union[float, Iterable[float]]) -> Tuple[float, ...]:
+    if isinstance(value, (int, float)):
+        return (float(value),)
+    return tuple(float(v) for v in value)
 
 
 @dataclass(frozen=True)
@@ -86,8 +137,10 @@ class ExperimentSpec:
     """A declarative grid of experiments.
 
     Every axis is a tuple; :meth:`cells` expands the cartesian product in a
-    fixed order (shape, faults, interval, λ, messages, seed, policy — policy
-    innermost so comparable cells sit next to each other).
+    fixed order (shape, scenario, faults, interval, λ, messages, flits,
+    rate, seed, policy — policy innermost so comparable cells sit next to
+    each other).  ``flits`` and ``scenario`` are first-class axes; a scalar
+    ``flits`` is accepted and normalized to a one-element axis.
     """
 
     name: str = "sweep"
@@ -102,11 +155,27 @@ class ExperimentSpec:
 
     #: Run the simulator's PCS circuit phase: concurrent path setups contend
     #: for links and delivered circuits hold their links for a
-    #: ``flits``-derived time (simulate mode only).
+    #: ``flits``-derived time (forced on in throughput mode).
     contention: bool = False
 
-    #: Message length in flits for every generated message.
-    flits: int = 64
+    #: Message length(s) in flits — a sweepable axis (scalar accepted).
+    flits: Union[int, Tuple[int, ...]] = (64,)
+
+    #: Traffic families — closed-batch scenarios in simulate mode
+    #: (:data:`SIMULATE_SCENARIOS`), open-loop spatial patterns in
+    #: throughput mode (:data:`THROUGHPUT_SCENARIOS`).
+    scenarios: Tuple[str, ...] = ()
+
+    #: Offered injection rates per node per step (throughput mode).
+    rates: Union[float, Tuple[float, ...]] = (0.05,)
+
+    #: Open-loop injection process (throughput mode).
+    injection: str = "bernoulli"
+
+    #: Measurement windows in steps (throughput mode).
+    warmup: int = 64
+    measure: int = 256
+    drain: int = 512
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -115,8 +184,19 @@ class ExperimentSpec:
         for attr in ("policies", "fault_counts", "fault_intervals", "lams",
                      "traffic_sizes", "seeds"):
             object.__setattr__(self, attr, tuple(getattr(self, attr)))
+        object.__setattr__(self, "flits", _int_axis(self.flits))
+        object.__setattr__(self, "rates", _float_axis(self.rates))
         if self.mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if not self.scenarios:
+            default = "uniform" if self.mode == "throughput" else "random"
+            object.__setattr__(self, "scenarios", (default,))
+        else:
+            object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        if self.mode == "throughput":
+            # Open-loop saturation is only meaningful with the circuit
+            # phase: without link contention nothing ever saturates.
+            object.__setattr__(self, "contention", True)
         registered = available_routers()
         for policy in self.policies:
             if policy not in registered:
@@ -124,12 +204,34 @@ class ExperimentSpec:
                     f"policy {policy!r} is not a registered router "
                     f"(choose from {registered})"
                 )
-        if self.contention and self.mode != "simulate":
+        valid_scenarios = SCENARIOS_BY_MODE[self.mode]
+        for scenario in self.scenarios:
+            if scenario not in valid_scenarios:
+                raise ValueError(
+                    f"scenario {scenario!r} is not valid in {self.mode} mode "
+                    f"(choose from {valid_scenarios})"
+                )
+        if "transpose" in self.scenarios:
+            for shape in self.mesh_shapes:
+                if len(set(shape)) != 1:
+                    raise ValueError(
+                        f"transpose traffic requires uniform (cubic) meshes, got {shape}"
+                    )
+        if self.contention and self.mode == "offline":
             raise ValueError("contention requires simulate mode (offline has no circuit phase)")
-        if self.flits < 0:
-            raise ValueError("flits must be non-negative")
-        for axis in ("mesh_shapes", "policies", "fault_counts", "fault_intervals",
-                     "lams", "traffic_sizes", "seeds"):
+        for flits in self.flits:
+            if flits < 0:
+                raise ValueError("flits must be non-negative")
+        for rate in self.rates:
+            if not 0.0 < rate <= 1.0:
+                raise ValueError("rates must be within (0, 1]")
+        if self.injection not in INJECTIONS:
+            raise ValueError(f"injection must be one of {INJECTIONS}")
+        if self.warmup < 0 or self.measure < 1 or self.drain < 0:
+            raise ValueError("warmup/drain must be >= 0 and measure >= 1")
+        for axis in ("mesh_shapes", "policies", "scenarios", "fault_counts",
+                     "fault_intervals", "lams", "traffic_sizes", "seeds",
+                     "flits", "rates"):
             if not getattr(self, axis):
                 raise ValueError(f"{axis} must be non-empty")
         for shape in self.mesh_shapes:
@@ -143,13 +245,27 @@ class ExperimentSpec:
                 "offline mode ignores fault_intervals and lams; "
                 "give each a single value"
             )
+        if self.mode != "throughput" and len(self.rates) > 1:
+            raise ValueError(
+                "rates is a throughput-mode axis; give a single value otherwise"
+            )
+        if self.mode == "throughput" and (
+            len(self.fault_intervals) > 1 or len(self.traffic_sizes) > 1
+        ):
+            # Open-loop cells use static pre-stabilized faults and generate
+            # their own traffic from the rate axis.
+            raise ValueError(
+                "throughput mode ignores fault_intervals and traffic_sizes; "
+                "give each a single value"
+            )
 
     @property
     def cell_count(self) -> int:
         """Number of grid points the spec expands to."""
         return (
-            len(self.mesh_shapes) * len(self.fault_counts) * len(self.fault_intervals)
-            * len(self.lams) * len(self.traffic_sizes) * len(self.seeds)
+            len(self.mesh_shapes) * len(self.scenarios) * len(self.fault_counts)
+            * len(self.fault_intervals) * len(self.lams) * len(self.traffic_sizes)
+            * len(self.flits) * len(self.rates) * len(self.seeds)
             * len(self.policies)
         )
 
@@ -159,12 +275,19 @@ class ExperimentSpec:
 
     def iter_cells(self) -> Iterator[ExperimentCell]:
         index = 0
-        for shape, faults, interval, lam, messages, seed in product(
-            self.mesh_shapes, self.fault_counts, self.fault_intervals,
-            self.lams, self.traffic_sizes, self.seeds,
+        for shape, scenario, faults, interval, lam, messages, flits, rate, seed in product(
+            self.mesh_shapes, self.scenarios, self.fault_counts,
+            self.fault_intervals, self.lams, self.traffic_sizes,
+            self.flits, self.rates, self.seeds,
         ):
+            rate = rate if self.mode == "throughput" else 0.0
+            # The rate is excluded from the derivation (like the policy): all
+            # points of one load curve share the same fault layout and the
+            # same underlying random stream (a Bernoulli source thresholds
+            # identical draws), so the curve varies only with the load.
             cell_seed = derive_cell_seed(
-                self.name, self.mode, shape, faults, interval, lam, messages, seed
+                self.name, self.mode, shape, scenario, faults, interval, lam,
+                messages, flits, seed,
             )
             for policy in self.policies:
                 yield ExperimentCell(
@@ -179,7 +302,13 @@ class ExperimentSpec:
                     seed=seed,
                     cell_seed=cell_seed,
                     contention=self.contention,
-                    flits=self.flits,
+                    flits=flits,
+                    scenario=scenario,
+                    rate=rate,
+                    injection=self.injection,
+                    warmup=self.warmup,
+                    measure=self.measure,
+                    drain=self.drain,
                 )
                 index += 1
 
@@ -190,12 +319,18 @@ class ExperimentSpec:
             "mode": self.mode,
             "mesh_shapes": [list(s) for s in self.mesh_shapes],
             "policies": list(self.policies),
+            "scenarios": list(self.scenarios),
             "fault_counts": list(self.fault_counts),
             "fault_intervals": list(self.fault_intervals),
             "lams": list(self.lams),
             "traffic_sizes": list(self.traffic_sizes),
             "seeds": list(self.seeds),
             "contention": self.contention,
-            "flits": self.flits,
+            "flits": list(self.flits),
+            "rates": list(self.rates),
+            "injection": self.injection,
+            "warmup": self.warmup,
+            "measure": self.measure,
+            "drain": self.drain,
             "cell_count": self.cell_count,
         }

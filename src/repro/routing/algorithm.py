@@ -15,6 +15,7 @@ from typing import Optional, Sequence, Tuple
 from repro.core.block_construction import LabelingState
 from repro.core.distribution import distribute_information
 from repro.core.routing import (
+    DecisionCache,
     InformationProvider,
     RouteResult,
     RoutingPolicy,
@@ -34,10 +35,13 @@ class AlgorithmRouter(Router):
     def __init__(self, policy: RoutingPolicy) -> None:
         self.policy = policy
         self.name = policy.name
-        #: One-slot cache of the offline information view, keyed by labeling
-        #: identity + mutation counter so batch routing over one stabilized
+        #: One-slot cache of the offline information view (plus the per-node
+        #: decision cache built over it), keyed by labeling identity +
+        #: mutation counter so batch routing over one stabilized
         #: configuration distributes the information exactly once.
-        self._view: Optional[Tuple[LabelingState, int, InformationProvider]] = None
+        self._view: Optional[
+            Tuple[LabelingState, int, InformationProvider, DecisionCache]
+        ] = None
 
     def offline_view(self, mesh: Mesh, labeling: LabelingState) -> InformationProvider:
         """The information state this policy routes against offline.
@@ -46,19 +50,25 @@ class AlgorithmRouter(Router):
         distributed information; an information-free policy routes against
         the bare labeling (adjacent-fault detection only).
         """
+        return self._view_entry(mesh, labeling)[0]
+
+    def _view_entry(
+        self, mesh: Mesh, labeling: LabelingState
+    ) -> Tuple[InformationProvider, DecisionCache]:
         cached = self._view
         if (
             cached is not None
             and cached[0] is labeling
             and cached[1] == labeling.mutations
         ):
-            return cached[2]
+            return cached[2], cached[3]
         if self.policy.use_block_info or self.policy.use_boundary_info:
             info: InformationProvider = distribute_information(mesh, labeling)
         else:
             info = InformationState(mesh=mesh, labeling=labeling)
-        self._view = (labeling, labeling.mutations, info)
-        return info
+        cache = DecisionCache(info, self.policy)
+        self._view = (labeling, labeling.mutations, info, cache)
+        return info, cache
 
     def route(
         self,
@@ -69,12 +79,14 @@ class AlgorithmRouter(Router):
         *,
         max_steps: Optional[int] = None,
     ) -> RouteResult:
+        info, cache = self._view_entry(mesh, labeling)
         return route_offline(
-            self.offline_view(mesh, labeling),
+            info,
             source,
             destination,
             policy=self.policy,
             max_steps=max_steps,
+            decision_cache=cache,
         )
 
     def probe(

@@ -157,6 +157,16 @@ class GlobalPathProbe:
     node whenever the labeling mutates or a reserved circuit blocks the
     planned link; a global router never backtracks, so its held circuit is
     simply its path so far.
+
+    Under contention a probe can be *fenced in*: no usable direction left
+    because every one is reserved by another circuit.  It then waits in
+    place — still holding its own reserved links, so two mutually fenced-in
+    probes form a deadlock cycle that probe lifetimes alone would break.
+    The timeout-and-release policy bounds that wait: after ``wait_timeout``
+    consecutive fenced-in steps the probe releases its whole partial
+    circuit, retreats to its source and retries (counted in
+    ``timeout_releases``, which the simulator folds into
+    :class:`~repro.simulator.stats.SimulationStats`).
     """
 
     def __init__(
@@ -166,15 +176,27 @@ class GlobalPathProbe:
         destination: Sequence[int],
         *,
         avoid_blocks: bool = True,
+        wait_timeout: Optional[int] = None,
     ) -> None:
         self.mesh = mesh
         self.source = mesh.validate(source)
         self.destination = mesh.validate(destination)
         self.avoid_blocks = avoid_blocks
+        #: Consecutive fenced-in steps tolerated before the probe releases
+        #: its held links and restarts from the source.
+        self.wait_timeout = (
+            wait_timeout if wait_timeout is not None else 2 * mesh.diameter + 4
+        )
+        if self.wait_timeout < 1:
+            raise ValueError("wait_timeout must be at least 1")
         self.path: List[Coord] = [self.source]
         self.forward_hops = 0
+        self.backtrack_hops = 0
         self.blocked_hops = 0
         self.setup_retries = 0
+        #: Times the probe timed out fenced in and released its circuit.
+        self.timeout_releases = 0
+        self._waits_in_place = 0
         self.outcome: Optional[RouteOutcome] = None
         if self.source == self.destination:
             self.outcome = RouteOutcome.DELIVERED
@@ -208,14 +230,22 @@ class GlobalPathProbe:
         info: SimulationInfo,
         *,
         link_blocked: Optional[LinkBlocked] = None,
+        decision_cache: object = None,
     ) -> Optional[RouteOutcome]:
-        """Advance one hop along the current plan, replanning as needed."""
+        """Advance one hop along the current plan, replanning as needed.
+
+        ``decision_cache`` is accepted for interface uniformity with the
+        Algorithm-3 probes and ignored: the global probe plans with a BFS,
+        not with per-node direction classification.
+        """
         if self.done:
             return self.outcome
         labeling = info.labeling
         current = self.path[-1]
         if self._plan is None or self._plan_mutations != labeling.mutations:
             if not self._replan(labeling, current, link_blocked):
+                if self.outcome is None:
+                    self._fenced_in_wait()
                 return self.outcome
         assert self._plan is not None
         nxt = self._plan[0]
@@ -223,14 +253,35 @@ class GlobalPathProbe:
             # A circuit grabbed the planned link since the last replan.
             self.blocked_hops += 1
             if not self._replan(labeling, current, link_blocked):
+                if self.outcome is None:
+                    self._fenced_in_wait()
                 return self.outcome
             nxt = self._plan[0]
         self._plan.pop(0)
         self.path.append(nxt)
         self.forward_hops += 1
+        self._waits_in_place = 0
         if nxt == self.destination:
             self.outcome = RouteOutcome.DELIVERED
         return self.outcome
+
+    def _fenced_in_wait(self) -> None:
+        """One fenced-in step: wait, and time out by releasing the circuit.
+
+        A probe that has waited ``wait_timeout`` consecutive steps while
+        holding links gives them all up and retreats to its source, breaking
+        any reservation deadlock cycle it participates in.  (At the source
+        there is nothing to release, so the probe just keeps waiting.)
+        """
+        self._waits_in_place += 1
+        if self._waits_in_place < self.wait_timeout or len(self.path) < 2:
+            return
+        self.backtrack_hops += len(self.path) - 1
+        self.path = [self.source]
+        self.timeout_releases += 1
+        self._waits_in_place = 0
+        self._plan = None
+        self._plan_mutations = None
 
     def _replan(
         self,
@@ -272,7 +323,7 @@ class GlobalPathProbe:
             destination=self.destination,
             min_distance=self.mesh.distance(self.source, self.destination),
             forward_hops=self.forward_hops,
-            backtrack_hops=0,
+            backtrack_hops=self.backtrack_hops,
             blocked_hops=self.blocked_hops,
             setup_retries=self.setup_retries,
         )

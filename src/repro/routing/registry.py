@@ -32,6 +32,7 @@ from typing import (
 
 from repro.core.block_construction import LabelingState
 from repro.core.routing import (
+    DecisionCache,
     InformationProvider,
     LinkBlocked,
     RouteOutcome,
@@ -81,6 +82,7 @@ class SetupProbe(Protocol):
         info: SimulationInfo,
         *,
         link_blocked: Optional[LinkBlocked] = None,
+        decision_cache: Optional["DecisionCache"] = None,
     ) -> Optional[RouteOutcome]: ...
 
     def result(self) -> RouteResult: ...

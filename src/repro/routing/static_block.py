@@ -14,6 +14,7 @@ from typing import Optional, Sequence, Tuple
 
 from repro.core.block_construction import LabelingState, extract_blocks
 from repro.core.routing import (
+    DecisionCache,
     LinkBlocked,
     RouteOutcome,
     RouteResult,
@@ -51,7 +52,9 @@ class StaticBlockRouter(Router):
 
     def __init__(self) -> None:
         self.policy = RoutingPolicy(name="static-block", use_boundary_info=False)
-        self._view: Optional[Tuple[LabelingState, int, InformationState]] = None
+        self._view: Optional[
+            Tuple[LabelingState, int, InformationState, DecisionCache]
+        ] = None
 
     def adjacent_view(self, mesh: Mesh, labeling: LabelingState) -> InformationState:
         """Adjacent-only information for ``labeling``, rebuilt on mutation.
@@ -59,16 +62,22 @@ class StaticBlockRouter(Router):
         The one-slot cache is shared by every probe of one simulation, so a
         labeling change costs one rebuild, not one per in-flight probe.
         """
+        return self._view_entry(mesh, labeling)[0]
+
+    def _view_entry(
+        self, mesh: Mesh, labeling: LabelingState
+    ) -> Tuple[InformationState, DecisionCache]:
         cached = self._view
         if (
             cached is not None
             and cached[0] is labeling
             and cached[1] == labeling.mutations
         ):
-            return cached[2]
+            return cached[2], cached[3]
         view = adjacent_only_information(mesh, labeling)
-        self._view = (labeling, labeling.mutations, view)
-        return view
+        cache = DecisionCache(view, self.policy)
+        self._view = (labeling, labeling.mutations, view, cache)
+        return view, cache
 
     def route(
         self,
@@ -79,12 +88,14 @@ class StaticBlockRouter(Router):
         *,
         max_steps: Optional[int] = None,
     ) -> RouteResult:
+        view, cache = self._view_entry(mesh, labeling)
         return route_offline(
-            self.adjacent_view(mesh, labeling),
+            view,
             source,
             destination,
             policy=self.policy,
             max_steps=max_steps,
+            decision_cache=cache,
         )
 
     def probe(
@@ -117,9 +128,13 @@ class StaticBlockProbe:
         info: SimulationInfo,
         *,
         link_blocked: Optional[LinkBlocked] = None,
+        decision_cache: Optional[DecisionCache] = None,
     ) -> Optional[RouteOutcome]:
-        view = self._router.adjacent_view(info.mesh, info.labeling)
-        return self._inner.step(view, link_blocked=link_blocked)
+        # The engine's cache is bound to *its* information state; this probe
+        # decides against the adjacent-only view, so it uses the decision
+        # cache the router keeps alongside that view instead.
+        view, cache = self._router._view_entry(info.mesh, info.labeling)
+        return self._inner.step(view, link_blocked=link_blocked, decision_cache=cache)
 
     def result(self) -> RouteResult:
         return self._inner.result()

@@ -25,12 +25,19 @@ detour statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.block_construction import extract_blocks, labeling_round
 from repro.core.boundary import BoundaryProtocol
 from repro.core.identification import IdentificationProtocol
-from repro.core.routing import RouteOutcome, RoutingPolicy, probe_step_limit
+from repro.core.routing import (
+    DecisionCache,
+    LinkBlocked,
+    RouteOutcome,
+    RoutingPolicy,
+    RoutingProbe,
+    probe_step_limit,
+)
 from repro.core.state import InformationState
 from repro.faults.schedule import DynamicFaultSchedule, FaultEventKind
 from repro.mesh.regions import Region
@@ -39,7 +46,7 @@ from repro.pcs.circuit import Circuit, LiveCircuitLedger
 from repro.pcs.transfer import TransferModel
 from repro.routing import AlgorithmRouter, Router, SetupProbe, resolve_router
 from repro.simulator.stats import ConvergenceRecord, MessageRecord, SimulationStats
-from repro.simulator.traffic import TrafficMessage
+from repro.simulator.traffic import BatchSource, TrafficMessage, TrafficSource
 
 Coord = Tuple[int, ...]
 
@@ -85,6 +92,14 @@ class SimulationConfig:
     #: offline routing uses).
     max_probe_lifetime: Optional[int] = None
 
+    #: When True (the default) probe decisions are batched per node: the
+    #: simulator resolves each node's decision inputs (neighbor statuses,
+    #: routing geometry) once and shares them across every probe deciding at
+    #: that node — and across steps while the information is unchanged.
+    #: Decisions are identical either way; False keeps the per-probe loop
+    #: (the benchmark baseline).
+    batch_by_node: bool = True
+
     def __post_init__(self) -> None:
         if self.lam < 1:
             raise ValueError("λ (lam) must be at least 1")
@@ -118,7 +133,7 @@ class Simulator:
         mesh: Mesh,
         *,
         schedule: Optional[DynamicFaultSchedule] = None,
-        traffic: Sequence[TrafficMessage] = (),
+        traffic: Union[Sequence[TrafficMessage], TrafficSource] = (),
         config: Optional[SimulationConfig] = None,
     ) -> None:
         self.mesh = mesh
@@ -126,10 +141,23 @@ class Simulator:
         # against None rather than truthiness.
         self.schedule = schedule if schedule is not None else DynamicFaultSchedule()
         self.config = config or SimulationConfig()
-        self.traffic = sorted(traffic, key=lambda m: m.start_time)
-        for message in self.traffic:
-            mesh.validate(message.source)
-            mesh.validate(message.destination)
+        if isinstance(traffic, TrafficSource) and not isinstance(traffic, (list, tuple)):
+            # Streaming traffic: messages are generated as the run proceeds,
+            # validated at injection time.
+            self._source: TrafficSource = traffic
+            self.traffic: List[TrafficMessage] = []
+        else:
+            self._source = BatchSource(traffic)
+            self.traffic = list(self._source.messages)  # type: ignore[attr-defined]
+            for message in self.traffic:
+                mesh.validate(message.source)
+                mesh.validate(message.destination)
+
+        #: Optional source feedback: a source exposing ``message_finished``
+        #: (e.g. an open-loop source with per-node injection queues) receives
+        #: each terminating message's :class:`MessageRecord`, so it can free
+        #: the node's injection port and retry failed setups.
+        self._message_finished = getattr(self._source, "message_finished", None)
 
         self.info = InformationState.fresh(mesh, self.schedule.initial_faults)
         self.stats = SimulationStats()
@@ -149,18 +177,38 @@ class Simulator:
         )
         self._next_holder = 0
 
+        #: Per-node decision cache for batched stepping; only Algorithm-3
+        #: probes (plain :class:`RoutingProbe`) read the engine's own
+        #: information state, so only those sims get one — the static-block
+        #: and global-information probes derive their own views.
+        self._decision_cache: Optional[DecisionCache] = None
+        if self.config.batch_by_node:
+            policy = getattr(self.router, "policy", None)
+            if isinstance(policy, RoutingPolicy):
+                self._decision_cache = DecisionCache(self.info, policy)
+
         self._identified_extents: Set[Region] = set()
         self._identifications: List[IdentificationProtocol] = []
         self._boundaries: List[BoundaryProtocol] = []
         self._pending_convergence: List[ConvergenceRecord] = []
-        self._probes: List[Tuple[TrafficMessage, SetupProbe, int]] = []
-        self._next_traffic_index = 0
+        #: In-flight probes: (message, probe, holder, link-blocked predicate,
+        #: cache-eligible).  The predicate is hoisted here so it is built
+        #: once per probe instead of once per probe per step.
+        self._probes: List[
+            Tuple[TrafficMessage, SetupProbe, int, Optional[LinkBlocked], bool]
+        ] = []
         self._probe_lifetime = (
             self.config.max_probe_lifetime
             if self.config.max_probe_lifetime is not None
             else probe_step_limit(mesh)
         )
         self._labeling_dirty = bool(self.schedule.initial_faults)
+        #: True once a labeling round produced no change and no fault event
+        #: has occurred since.  The round function is a deterministic
+        #: fixpoint iteration, so a stable labeling stays stable until the
+        #: next event — the engine skips the (whole-mesh) round scan then,
+        #: which is what makes long steady-state open-loop runs tractable.
+        self._labeling_stable = False
         self._step = 0
         # Events are time-sorted, so the last one bounds the schedule; keeping
         # it here makes _work_remaining O(1) instead of scanning every step.
@@ -178,6 +226,7 @@ class Simulator:
         """Stabilize labeling and distribute information for initial faults."""
         while labeling_round(self.info.labeling):
             pass
+        self._labeling_stable = True
         self._start_new_identifications()
         while self._identifications or self._boundaries:
             self._advance_protocols(record_rounds=False)
@@ -260,13 +309,21 @@ class Simulator:
             else:
                 self.info.labeling.recover(event.node)
             self._labeling_dirty = True
+            self._labeling_stable = False
             self._pending_convergence.append(
                 ConvergenceRecord(event=event, detected_step=t)
             )
 
         # 2. λ rounds of information exchange --------------------------------
         for _ in range(self.config.lam):
-            changed = labeling_round(self.info.labeling)
+            if self._labeling_stable:
+                # A no-change round would scan the whole mesh to conclude
+                # nothing moved; the skipped round is exactly that no-op.
+                changed = False
+            else:
+                changed = labeling_round(self.info.labeling)
+                if not changed:
+                    self._labeling_stable = True
             self.stats.total_rounds += 1
             if changed:
                 for record in self._pending_convergence:
@@ -290,30 +347,38 @@ class Simulator:
                 ]
 
         # 3. message injection, reception, routing decision, sending ---------
-        while (
-            self._next_traffic_index < len(self.traffic)
-            and self.traffic[self._next_traffic_index].start_time <= t
-        ):
-            message = self.traffic[self._next_traffic_index]
-            self._next_traffic_index += 1
-            probe = self.router.probe(self.mesh, message.source, message.destination)
-            self._probes.append((message, probe, self._next_holder))
-            self._next_holder += 1
-
         ledger = self.circuits
+        for message in self._source.poll(t):
+            self.mesh.validate(message.source)
+            self.mesh.validate(message.destination)
+            probe = self.router.probe(self.mesh, message.source, message.destination)
+            holder = self._next_holder
+            self._next_holder += 1
+            blocked = ledger.blocked_for(holder) if ledger is not None else None
+            self._probes.append(
+                (message, probe, holder, blocked, isinstance(probe, RoutingProbe))
+            )
+
         if ledger is not None:
             # Data transmissions finishing before this step free their links.
             ledger.release_expired(t)
 
+        cache = self._decision_cache
         lifetime = self._probe_lifetime
-        remaining: List[Tuple[TrafficMessage, SetupProbe, int]] = []
-        for message, probe, holder in self._probes:
+        remaining: List[
+            Tuple[TrafficMessage, SetupProbe, int, Optional[LinkBlocked], bool]
+        ] = []
+        for entry in self._probes:
+            message, probe, holder, blocked, cacheable = entry
+            probe_cache = cache if cacheable else None
             if ledger is None:
-                outcome = probe.step(self.info)
+                outcome = probe.step(self.info, decision_cache=probe_cache)
             else:
                 stack = probe.circuit_stack
                 prev_len, prev_tail = len(stack), stack[-1]
-                outcome = probe.step(self.info, link_blocked=ledger.blocked_for(holder))
+                outcome = probe.step(
+                    self.info, link_blocked=blocked, decision_cache=probe_cache
+                )
                 # Mirror the probe's partial circuit incrementally (a probe
                 # moves at most one hop per step): a forward hop reserves its
                 # link — visible to probes later in this loop — and a
@@ -325,12 +390,12 @@ class Simulator:
                 elif delta == -1:
                     ledger.release_link(holder, prev_tail, stack[-1])
                 elif delta != 0:
-                    ledger.sync(holder, stack)  # multi-hop probes: full resync
+                    ledger.sync(holder, stack)  # multi-hop moves: full resync
             expired = (t - message.start_time) >= lifetime
             if outcome is not None or expired:
-                self.stats.messages.append(
-                    MessageRecord(message=message, result=probe.result(), finish_step=t)
-                )
+                record = self._finish_probe(message, probe, finish_step=t)
+                if self._message_finished is not None:
+                    self._message_finished(record)
                 if ledger is not None:
                     if outcome is RouteOutcome.DELIVERED:
                         # The data circuit is the held stack with loop
@@ -345,13 +410,34 @@ class Simulator:
                     else:
                         ledger.release(holder)
             else:
-                remaining.append((message, probe, holder))
+                remaining.append(entry)
         self._probes = remaining
         if ledger is not None:
             self.stats.record_occupancy(ledger.reserved_links)
 
         self._step += 1
         self.stats.steps = self._step
+
+    def _finish_probe(
+        self, message: TrafficMessage, probe: SetupProbe, *, finish_step: Optional[int]
+    ) -> MessageRecord:
+        """Record a finished (or flushed) probe's message statistics."""
+        record = MessageRecord(
+            message=message, result=probe.result(), finish_step=finish_step
+        )
+        self.stats.messages.append(record)
+        self.stats.timeout_releases += getattr(probe, "timeout_releases", 0)
+        return record
+
+    @property
+    def in_flight(self) -> int:
+        """Number of probes currently in flight."""
+        return len(self._probes)
+
+    @property
+    def pending_messages(self) -> Tuple[TrafficMessage, ...]:
+        """Messages whose probes are still in flight."""
+        return tuple(entry[0] for entry in self._probes)
 
     def _work_remaining(self) -> bool:
         return bool(
@@ -360,7 +446,7 @@ class Simulator:
             or self._identifications
             or self._boundaries
             or self._labeling_dirty
-            or self._next_traffic_index < len(self.traffic)
+            or not self._source.exhausted(self._step)
             or self._last_event_time >= self._step
             # Circuits still holding links are data transfers in flight.
             or (self.circuits is not None and self.circuits.reserved_links > 0)
@@ -373,10 +459,8 @@ class Simulator:
         ):
             self.step()
         # Flush probes still in flight when the step budget ran out.
-        for message, probe, holder in self._probes:
-            self.stats.messages.append(
-                MessageRecord(message=message, result=probe.result(), finish_step=None)
-            )
+        for message, probe, holder, _blocked, _cacheable in self._probes:
+            self._finish_probe(message, probe, finish_step=None)
             if self.circuits is not None:
                 self.circuits.release(holder)
         self._probes = []

@@ -67,6 +67,32 @@ class MessageRecord:
     finish_step: Optional[int] = None
 
     @property
+    def setup_steps(self) -> Optional[int]:
+        """Simulation steps the path setup occupied (injection to finish).
+
+        A probe injected at its start step and finishing that same step took
+        one step; ``None`` while the probe is still in flight.
+        """
+        if self.finish_step is None:
+            return None
+        return self.finish_step - self.message.start_time + 1
+
+    @property
+    def latency_steps(self) -> Optional[int]:
+        """Steps from message *generation* to finish (queueing + setup).
+
+        Equals :attr:`setup_steps` for closed-batch traffic; open-loop
+        sources with injection queues set ``created_time`` earlier, and the
+        difference is the source queueing delay.
+        """
+        if self.finish_step is None:
+            return None
+        created = self.message.created_time
+        if created is None:
+            created = self.message.start_time
+        return self.finish_step - created + 1
+
+    @property
     def delivered(self) -> bool:
         """True iff the probe reached its destination."""
         return self.result.outcome is RouteOutcome.DELIVERED
@@ -104,6 +130,10 @@ class SimulationStats:
     circuit_link_steps: int = 0
     #: Largest number of links simultaneously reserved.
     peak_reserved_links: int = 0
+
+    #: Times a fenced-in probe timed out waiting and released its held
+    #: partial circuit (the global router's deadlock-breaking policy).
+    timeout_releases: int = 0
 
     def record_occupancy(self, reserved_links: int) -> None:
         """Fold one step's end-of-step reservation count into the totals."""
@@ -204,4 +234,25 @@ class SimulationStats:
             "circuits_reserved": float(self.circuits_reserved),
             "mean_reserved_links": self.mean_reserved_links,
             "peak_reserved_links": float(self.peak_reserved_links),
+            "timeout_releases": float(self.timeout_releases),
         }
+
+    # ------------------------------------------------------------------ #
+    # latency aggregates (open-loop measurement reads these)
+    # ------------------------------------------------------------------ #
+    def setup_latencies(
+        self, records: Optional[List[MessageRecord]] = None
+    ) -> List[int]:
+        """End-to-end latencies (in steps) of the delivered records, sorted.
+
+        Latency counts from message generation (source queueing included for
+        open-loop traffic).  ``records`` defaults to every delivered message
+        of the simulation; the windowed throughput measurement passes the
+        records of its measurement phase only.
+        """
+        pool = self.delivered_messages if records is None else records
+        return sorted(
+            r.latency_steps
+            for r in pool
+            if r.delivered and r.latency_steps is not None
+        )

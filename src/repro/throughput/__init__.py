@@ -1,0 +1,59 @@
+"""Open-loop throughput and saturation measurement.
+
+The closed-batch experiments replay fixed message lists; this subsystem
+offers load at a *rate* and measures what the network sustains:
+
+* :mod:`repro.throughput.injection` — per-node open-loop message sources
+  (Bernoulli and bursty on/off processes crossed with uniform / transpose /
+  hotspot spatial patterns) feeding the simulator as it runs, via the
+  :class:`~repro.simulator.traffic.TrafficSource` protocol;
+* :mod:`repro.throughput.measure` — the warmup / measure / drain windowed
+  methodology producing steady-state accepted throughput, mean/p99 setup
+  latency and a circuit-occupancy series;
+* :mod:`repro.throughput.saturation` — per-policy load–latency/throughput
+  curves through the experiment grid, plus a binary search for the knee of
+  the latency curve (the saturation point).
+
+The ``repro-mesh throughput`` CLI subcommand is a thin veneer over
+:func:`load_curves` and :func:`saturation_for_policy`.
+"""
+
+from repro.throughput.injection import (
+    PATTERNS,
+    BernoulliInjection,
+    BurstyInjection,
+    OpenLoopSource,
+    make_injection,
+)
+from repro.throughput.measure import (
+    MeasurementWindows,
+    ThroughputResult,
+    WindowSample,
+    measure_open_loop,
+    run_throughput_point,
+)
+from repro.throughput.saturation import (
+    LoadCurve,
+    LoadPoint,
+    find_saturation,
+    load_curves,
+    saturation_for_policy,
+)
+
+__all__ = [
+    "BernoulliInjection",
+    "BurstyInjection",
+    "LoadCurve",
+    "LoadPoint",
+    "MeasurementWindows",
+    "OpenLoopSource",
+    "PATTERNS",
+    "ThroughputResult",
+    "WindowSample",
+    "find_saturation",
+    "load_curves",
+    "make_injection",
+    "measure_open_loop",
+    "run_throughput_point",
+    "saturation_for_policy",
+]

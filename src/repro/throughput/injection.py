@@ -1,0 +1,308 @@
+"""Open-loop message injection: per-node sources feeding the simulator live.
+
+Closed-batch experiments replay a fixed list of messages; an *open-loop*
+experiment instead offers load at a fixed **rate** — every node decides at
+every step, independently of how the network is doing, whether to inject a
+message.  This is the standard interconnection-network methodology for
+saturation measurements: because injection never waits for the network,
+accepted throughput genuinely saturates once setups cannot keep up.
+
+Two ingredients compose an :class:`OpenLoopSource`:
+
+* an **injection process** deciding *when* each node injects —
+  :class:`BernoulliInjection` (memoryless, ``rate`` per node per step) or
+  :class:`BurstyInjection` (a two-state on/off Markov process with the same
+  mean rate but clustered arrivals);
+* a **spatial pattern** deciding *where* each message goes — ``uniform``
+  (uniform-random destinations), ``transpose`` (the adversarial coordinate
+  reversal) or ``hotspot`` (a fraction of messages target one node), the
+  same families as the closed-batch congestion workloads in
+  :mod:`repro.workloads.congestion`.
+
+Everything is deterministic in the source's seed: the per-step RNG draws
+happen in a fixed order, so two runs with the same seed inject the same
+messages at the same steps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mesh.topology import Mesh
+from repro.simulator.traffic import TrafficMessage
+
+Coord = Tuple[int, ...]
+
+#: Spatial destination patterns an :class:`OpenLoopSource` understands.
+PATTERNS = ("uniform", "transpose", "hotspot")
+
+
+@dataclass(frozen=True)
+class BernoulliInjection:
+    """Memoryless injection: each node injects with ``rate`` per step."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+
+    def injecting(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Boolean mask over ``count`` nodes: who injects this step."""
+        return rng.random(count) < self.rate
+
+
+class BurstyInjection:
+    """On/off (two-state Markov) injection with mean rate ``rate``.
+
+    Each node is either ON or OFF.  An ON node injects with probability
+    ``rate * burstiness`` per step; an OFF node never injects.  Transition
+    probabilities are chosen so the expected ON duration is ``mean_burst``
+    steps and the stationary ON fraction is ``1 / burstiness`` — the mean
+    offered load equals ``rate``, but arrivals cluster into bursts whose
+    setups race for the same links.
+    """
+
+    def __init__(
+        self, rate: float, *, burstiness: float = 4.0, mean_burst: float = 8.0
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+        if burstiness < 1.0:
+            raise ValueError("burstiness must be at least 1")
+        if mean_burst < 1.0:
+            raise ValueError("mean_burst must be at least 1")
+        self.rate = rate
+        self.burstiness = burstiness
+        self.mean_burst = mean_burst
+        self.on_rate = min(1.0, rate * burstiness)
+        # The ON-state rate saturates at 1, so for rate > 1/burstiness the
+        # duty cycle widens instead (rate = on_rate * duty stays exact
+        # instead of silently plateauing at 1/burstiness).
+        self.duty = rate / self.on_rate if self.on_rate > 0 else 0.0
+        self.p_off = 1.0 / mean_burst
+        # Stationary ON fraction p_on/(p_on+p_off) == duty.
+        self.p_on = (
+            self.p_off * self.duty / (1.0 - self.duty) if self.duty < 1.0 else 1.0
+        )
+        self._state: Optional[np.ndarray] = None
+
+    def injecting(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Boolean mask over ``count`` nodes: who injects this step."""
+        if self._state is None or len(self._state) != count:
+            # Start in the stationary distribution so the warmup window does
+            # not have to absorb an all-OFF transient.
+            self._state = rng.random(count) < self.duty
+        flips = rng.random(count)
+        self._state = np.where(
+            self._state, flips >= self.p_off, flips < self.p_on
+        )
+        return self._state & (rng.random(count) < self.on_rate)
+
+
+def make_injection(
+    kind: str, rate: float, *, burstiness: float = 4.0, mean_burst: float = 8.0
+):
+    """Build an injection process by name (``"bernoulli"`` or ``"bursty"``)."""
+    if kind == "bernoulli":
+        return BernoulliInjection(rate)
+    if kind == "bursty":
+        return BurstyInjection(rate, burstiness=burstiness, mean_burst=mean_burst)
+    raise ValueError(f"unknown injection process {kind!r} (bernoulli or bursty)")
+
+
+class OpenLoopSource:
+    """A :class:`~repro.simulator.traffic.TrafficSource` offering load at a rate.
+
+    The simulator polls the source once per step; the source asks its
+    injection process which of the non-excluded nodes *generate* a message
+    and draws each message's destination from the spatial pattern.
+
+    Each node has **one injection port**: at most one of its messages is in
+    setup at a time, and messages generated while the port is busy wait in
+    the node's source queue (the simulator reports finished setups back
+    through :meth:`message_finished`).  Generation never depends on network
+    state — that is what makes the load open-loop — but emission respects
+    the port, so latency past saturation grows with the queue instead of the
+    network drowning in physically impossible concurrent setups.  Every
+    emitted message carries its generation step in ``created_time``, so
+    latency accounting includes the queueing delay.
+
+    ``stop`` ends generation (exclusive); queued messages freeze there too,
+    and the measurement harness counts them as unfinished backlog.
+    """
+
+    def __init__(
+        self,
+        mesh: Mesh,
+        process,
+        *,
+        pattern: str = "uniform",
+        seed: int = 0,
+        flits: int = 64,
+        stop: Optional[int] = None,
+        exclude: Sequence[Coord] = (),
+        hotspot: Optional[Coord] = None,
+        hotspot_fraction: float = 0.5,
+        retry_failed: bool = True,
+        retry_backoff: int = 8,
+    ) -> None:
+        if pattern not in PATTERNS:
+            raise ValueError(f"unknown pattern {pattern!r} (choose from {PATTERNS})")
+        if pattern == "transpose" and len(set(mesh.shape)) != 1:
+            raise ValueError("transpose traffic requires a uniform (cubic) mesh")
+        self.mesh = mesh
+        self.process = process
+        self.pattern = pattern
+        self.flits = flits
+        self.stop = stop
+        self.rng = np.random.default_rng(seed)
+        excluded = {tuple(e) for e in exclude}
+        #: Nodes that may inject / receive, in mesh enumeration order.
+        self.nodes: List[Coord] = [n for n in mesh.nodes() if n not in excluded]
+        if len(self.nodes) < 2:
+            raise ValueError("need at least two non-excluded nodes")
+        self._excluded = excluded
+        self.hotspot = self._pick_hotspot(hotspot) if pattern == "hotspot" else None
+        if not 0.0 <= hotspot_fraction <= 1.0:
+            raise ValueError("hotspot_fraction must be within [0, 1]")
+        self.hotspot_fraction = hotspot_fraction
+        #: Messages generated so far (the offered load; includes queued).
+        self.generated = 0
+        #: Messages actually emitted into the simulator so far.
+        self.injected = 0
+        #: Generation steps of every message generated (for the windowed
+        #: offered-load accounting).
+        self.generation_log: List[int] = []
+        #: A setup that failed (exhausted its lifetime, or transiently
+        #: unreachable) is re-issued by the source, keeping its original
+        #: generation step — the PCS retry model.
+        self.retry_failed = retry_failed
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
+        #: Steps a node's port stays idle before re-issuing a failed setup,
+        #: scaled by the attempt count.  All probes decide deterministically,
+        #: so two colliding setups retried immediately would collide again
+        #: in lockstep forever; attempt-scaled backoff staggers them apart.
+        self.retry_backoff = retry_backoff
+        #: Per-node FIFO of (created_step, destination, ready_step, attempt)
+        #: waiting for the port.
+        self._queues: dict = {node: deque() for node in self.nodes}
+        #: Nodes whose injection port currently has a setup in flight (the
+        #: value is the attempt number of the in-flight setup).
+        self._busy: dict = {}
+
+    def _pick_hotspot(self, hotspot: Optional[Coord]) -> Coord:
+        if hotspot is not None:
+            hot = self.mesh.validate(hotspot)
+            if hot in self._excluded:
+                raise ValueError(f"hotspot {hot} is excluded (faulty?)")
+            return hot
+        centre = tuple(s // 2 for s in self.mesh.shape)
+        if centre not in self._excluded:
+            return centre
+        # Fall back to the usable node nearest the centre (deterministic).
+        return min(self.nodes, key=lambda n: (self.mesh.distance(n, centre), n))
+
+    # ------------------------------------------------------------------ #
+    # TrafficSource protocol
+    # ------------------------------------------------------------------ #
+    def poll(self, step: int) -> List[TrafficMessage]:
+        if self.stop is None or step < self.stop:
+            # Generation: open-loop, independent of network state.
+            mask = self.process.injecting(self.rng, len(self.nodes))
+            for index in np.flatnonzero(mask):
+                source = self.nodes[int(index)]
+                destination = self._destination(source)
+                if destination is None:
+                    continue
+                self._queues[source].append((step, destination, step, 0))
+                self.generated += 1
+                self.generation_log.append(step)
+        else:
+            return []  # generation (and emission) stop together
+        # Emission: one message per free injection port (heads still backing
+        # off after a failed attempt keep their port idle this step).
+        out: List[TrafficMessage] = []
+        for node in self.nodes:
+            if node in self._busy:
+                continue
+            queue = self._queues[node]
+            if not queue or queue[0][2] > step:
+                continue
+            created, destination, _ready, attempt = queue.popleft()
+            self._busy[node] = attempt
+            out.append(
+                TrafficMessage(
+                    source=node,
+                    destination=destination,
+                    start_time=step,
+                    tag=self.pattern,
+                    flits=self.flits,
+                    created_time=created,
+                )
+            )
+        self.injected += len(out)
+        return out
+
+    def message_finished(self, record) -> None:
+        """Simulator feedback: a setup terminated; free the node's port.
+
+        With :attr:`retry_failed`, an undelivered setup goes back to the
+        *front* of its node's queue (it is the node's oldest message) and is
+        re-issued — unless generation has stopped, in which case it stays in
+        the backlog accounting as a frozen queue entry.
+        """
+        message = record.message
+        attempt = self._busy.pop(message.source, 0)
+        if self.retry_failed and not record.delivered:
+            created = (
+                message.created_time
+                if message.created_time is not None
+                else message.start_time
+            )
+            finish = record.finish_step if record.finish_step is not None else 0
+            ready = finish + 1 + self.retry_backoff * (attempt + 1)
+            self._queues[message.source].appendleft(
+                (created, message.destination, ready, attempt + 1)
+            )
+
+    def exhausted(self, step: int) -> bool:
+        return self.stop is not None and step >= self.stop
+
+    @property
+    def queued(self) -> int:
+        """Messages generated but not yet emitted (source backlog)."""
+        return sum(len(q) for q in self._queues.values())
+
+    def queued_created_between(self, lo: int, hi: int) -> int:
+        """Backlogged messages generated in ``[lo, hi)``."""
+        return sum(
+            1 for q in self._queues.values() for entry in q if lo <= entry[0] < hi
+        )
+
+    def generated_between(self, lo: int, hi: int) -> int:
+        """Messages generated in ``[lo, hi)`` (emitted or still queued)."""
+        return sum(1 for created in self.generation_log if lo <= created < hi)
+
+    # ------------------------------------------------------------------ #
+    # destinations
+    # ------------------------------------------------------------------ #
+    def _destination(self, source: Coord) -> Optional[Coord]:
+        if self.pattern == "transpose":
+            destination = tuple(reversed(source))
+            if destination == source or destination in self._excluded:
+                return None  # diagonal / faulty partner: nothing to send
+            return destination
+        if self.pattern == "hotspot" and self.rng.random() < self.hotspot_fraction:
+            if source != self.hotspot:
+                return self.hotspot
+            # The hotspot itself falls through to uniform traffic.
+        index = int(self.rng.integers(0, len(self.nodes)))
+        if self.nodes[index] == source:
+            index = (index + 1) % len(self.nodes)
+        return self.nodes[index]

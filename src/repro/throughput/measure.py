@@ -1,0 +1,312 @@
+"""Windowed open-loop measurement: warmup, measure, drain.
+
+The standard three-phase methodology for steady-state throughput numbers:
+
+* **warmup** — traffic is offered but not counted, so the measurement does
+  not see the empty-network transient;
+* **measure** — every message injected in this window is *measured*;
+  accepted throughput and setup latency are computed over exactly these
+  messages;
+* **drain** — injection stops and the simulator keeps stepping until the
+  measured messages have finished (or the drain budget runs out, in which
+  case the leftovers count as unfinished — which at overload is precisely
+  the signal that the offered rate exceeds the saturation rate).
+
+:func:`measure_open_loop` drives a :class:`~repro.simulator.engine.Simulator`
+step by step through the three phases and samples a per-window series of
+injected/delivered counts and circuit occupancy from the simulator's
+:class:`~repro.simulator.stats.SimulationStats` along the way.
+:func:`run_throughput_point` is the self-contained entry the experiment
+runner and the saturation search share: mesh + faults + policy + rate in,
+:class:`ThroughputResult` out, deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.block_construction import build_blocks
+from repro.faults.injection import uniform_random_faults
+from repro.faults.schedule import DynamicFaultSchedule
+from repro.mesh.topology import Mesh
+from repro.simulator.engine import SimulationConfig, Simulator
+from repro.throughput.injection import OpenLoopSource, make_injection
+
+Coord = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class MeasurementWindows:
+    """Phase lengths (in simulation steps) of one open-loop measurement."""
+
+    warmup: int = 64
+    measure: int = 256
+    drain: int = 512
+    #: Length of the occupancy-series sampling sub-windows.
+    sample_every: int = 32
+
+    def __post_init__(self) -> None:
+        if self.warmup < 0 or self.measure < 1 or self.drain < 0:
+            raise ValueError("warmup/drain must be >= 0 and measure >= 1")
+        if self.sample_every < 1:
+            raise ValueError("sample_every must be at least 1")
+
+    @property
+    def injection_stop(self) -> int:
+        """First step with no injection (end of the measurement phase)."""
+        return self.warmup + self.measure
+
+    @property
+    def horizon(self) -> int:
+        """Hard step budget for the whole measurement."""
+        return self.warmup + self.measure + self.drain
+
+
+@dataclass(frozen=True)
+class WindowSample:
+    """One occupancy-series sample (a ``sample_every``-step sub-window)."""
+
+    start_step: int
+    injected: int
+    finished: int
+    delivered: int
+    mean_reserved_links: float
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Steady-state numbers of one open-loop run at one offered rate."""
+
+    policy: str
+    pattern: str
+    rate: float
+
+    #: Messages generated during the window; how many of them delivered;
+    #: failed setup *attempts* (an attempt is terminal only when the source
+    #: does not retry); messages still undelivered at the horizon (queued,
+    #: in flight, or awaiting a retry that never got to run).
+    injected: int
+    delivered: int
+    failed: int
+    unfinished: int
+
+    #: Mean messages offered per (non-faulty) node per step: injections
+    #: during the measurement window, normalized by window x nodes.
+    offered_load: float
+
+    #: Mean messages accepted per node per step: deliveries *occurring*
+    #: during the measurement window (whatever their injection step),
+    #: normalized the same way.  At steady state this equals the delivered
+    #: fraction of the offered load; past saturation it flattens at the
+    #: network's service rate instead of growing with the drained backlog.
+    accepted_throughput: float
+
+    #: Setup latency (steps from injection to delivery) over the delivered
+    #: measured messages.
+    mean_setup_latency: float
+    p99_setup_latency: float
+
+    #: Per-sub-window series over the measurement phase.
+    samples: Tuple[WindowSample, ...]
+
+    #: Steps actually simulated (includes the drain).
+    steps: int
+
+    @property
+    def delivery_rate(self) -> float:
+        """Delivered fraction of the measured messages (1.0 when none)."""
+        if not self.injected:
+            return 1.0
+        return self.delivered / self.injected
+
+    def to_row(self) -> Dict[str, float]:
+        """Flat metric dictionary (one experiment-cell row)."""
+        return {
+            "rate": self.rate,
+            "injected": float(self.injected),
+            "delivered": float(self.delivered),
+            "failed": float(self.failed),
+            "unfinished": float(self.unfinished),
+            "delivery_rate": self.delivery_rate,
+            "offered_load": self.offered_load,
+            "accepted_throughput": self.accepted_throughput,
+            "mean_setup_latency": self.mean_setup_latency,
+            "p99_setup_latency": self.p99_setup_latency,
+            "steps": float(self.steps),
+        }
+
+
+def _percentile(sorted_values: Sequence[int], fraction: float) -> float:
+    """The ``fraction`` percentile of an ascending sequence (nearest-rank)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(fraction * len(sorted_values)))
+    return float(sorted_values[rank - 1])
+
+
+def measure_open_loop(
+    mesh: Mesh,
+    source: OpenLoopSource,
+    *,
+    schedule: Optional[DynamicFaultSchedule] = None,
+    config: Optional[SimulationConfig] = None,
+    windows: Optional[MeasurementWindows] = None,
+) -> ThroughputResult:
+    """Run the three-phase open-loop measurement and aggregate the window.
+
+    ``source.stop`` is forced to the end of the measurement phase; the
+    simulator then drains until every measured message finished or the
+    drain budget is exhausted.
+    """
+    windows = windows or MeasurementWindows()
+    config = config or SimulationConfig(contention=True)
+    source.stop = windows.injection_stop
+    sim = Simulator(mesh, schedule=schedule, traffic=source, config=config)
+
+    samples: List[WindowSample] = []
+
+    def delivered_count() -> int:
+        return sum(1 for r in sim.stats.messages if r.delivered)
+
+    def marks() -> Tuple[int, int, int, int]:
+        return (
+            source.generated,
+            len(sim.stats.messages),
+            delivered_count(),
+            sim.stats.circuit_link_steps,
+        )
+
+    mark = marks()
+    mark_step = 0
+    while sim.current_step < windows.horizon:
+        if sim.current_step >= windows.injection_stop and sim.in_flight == 0:
+            break  # drained: every injected message finished
+        sim.step()
+        now = sim.current_step
+        if now == windows.warmup:
+            # Warmup boundary: restart the deltas so samples cover exactly
+            # the measurement phase.
+            mark, mark_step = marks(), now
+        elif windows.warmup < now <= windows.injection_stop and (
+            (now - windows.warmup) % windows.sample_every == 0
+            or now == windows.injection_stop
+        ):
+            injected, finished, delivered, link_steps = marks()
+            length = now - mark_step
+            samples.append(
+                WindowSample(
+                    start_step=mark_step,
+                    injected=injected - mark[0],
+                    finished=finished - mark[1],
+                    delivered=delivered - mark[2],
+                    mean_reserved_links=(link_steps - mark[3]) / length,
+                )
+            )
+            mark, mark_step = (injected, finished, delivered, link_steps), now
+
+    lo, hi = windows.warmup, windows.injection_stop
+
+    def created(message) -> int:
+        return (
+            message.created_time
+            if message.created_time is not None
+            else message.start_time
+        )
+
+    measured = [r for r in sim.stats.messages if lo <= created(r.message) < hi]
+    delivered = [r for r in measured if r.delivered]
+    failed_attempts = len(measured) - len(delivered)
+    delivered_in_window = sum(
+        1
+        for r in sim.stats.messages
+        if r.delivered and r.finish_step is not None and lo <= r.finish_step < hi
+    )
+    latencies = sim.stats.setup_latencies(delivered)
+    active_nodes = len(source.nodes)
+    denominator = windows.measure * active_nodes
+    generated_measured = source.generated_between(lo, hi)
+    terminal_failed = 0 if getattr(source, "retry_failed", False) else failed_attempts
+
+    return ThroughputResult(
+        policy=getattr(sim.router, "name", "?"),
+        pattern=source.pattern,
+        rate=getattr(source.process, "rate", 0.0),
+        injected=generated_measured,
+        delivered=len(delivered),
+        failed=failed_attempts,
+        unfinished=generated_measured - len(delivered) - terminal_failed,
+        offered_load=generated_measured / denominator if denominator else 0.0,
+        accepted_throughput=(
+            delivered_in_window / denominator if denominator else 0.0
+        ),
+        mean_setup_latency=(sum(latencies) / len(latencies)) if latencies else 0.0,
+        p99_setup_latency=_percentile(latencies, 0.99),
+        samples=tuple(samples),
+        steps=sim.current_step,
+    )
+
+
+def run_throughput_point(
+    shape: Sequence[int],
+    policy: str,
+    pattern: str,
+    rate: float,
+    *,
+    faults: int = 0,
+    lam: int = 2,
+    flits: int = 64,
+    seed: int = 0,
+    injection: str = "bernoulli",
+    windows: Optional[MeasurementWindows] = None,
+    contention: bool = True,
+    batch_by_node: bool = True,
+    setup_timeout: Optional[int] = None,
+) -> ThroughputResult:
+    """One self-contained open-loop measurement point.
+
+    Builds the mesh, a *static* pre-stabilized fault set (``faults`` nodes,
+    so a steady state exists to measure), the open-loop source and the
+    simulator, and runs the windowed measurement.  Everything derives from
+    ``seed``; the fault layout and injection stream are policy-independent,
+    so per-policy curves measured with the same seed are comparable
+    point-for-point.
+
+    Endpoints exclude every *block* node (faulty or disabled): a setup to a
+    disabled node can never deliver, and the source retries failed setups.
+    ``setup_timeout`` bounds one setup attempt (default ``diameter + 2``
+    steps): a congested-network PCS setup aborts and retries rather than
+    wander — a wandering probe holds its whole partial circuit, so long
+    budgets make every failure expensive for everyone else, and the offline
+    worst-case walk bound would let one stuck probe hold links for the whole
+    measurement.
+    """
+    mesh = Mesh(tuple(shape))
+    rng = np.random.default_rng(seed)
+    fault_nodes = uniform_random_faults(mesh, faults, rng, margin=1)
+    schedule = DynamicFaultSchedule.static(fault_nodes)
+    blocked = build_blocks(mesh, fault_nodes).state.block_nodes if fault_nodes else ()
+    source = OpenLoopSource(
+        mesh,
+        make_injection(injection, rate),
+        pattern=pattern,
+        seed=seed,
+        flits=flits,
+        exclude=blocked,
+    )
+    config = SimulationConfig(
+        lam=lam,
+        router=policy,
+        contention=contention,
+        batch_by_node=batch_by_node,
+        max_probe_lifetime=(
+            setup_timeout if setup_timeout is not None else max(8, mesh.diameter + 2)
+        ),
+        max_steps=10**9,  # the measurement horizon bounds the run
+    )
+    return measure_open_loop(
+        mesh, source, schedule=schedule, config=config, windows=windows
+    )

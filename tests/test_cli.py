@@ -199,7 +199,7 @@ class TestSweepCommand:
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["spec"]["contention"] is True
-        assert payload["spec"]["flits"] == 200
+        assert payload["spec"]["flits"] == [200]  # flits is a sweepable axis
         for cell in payload["cells"]:
             assert cell["contention"] is True
             assert "blocked_hops" in cell["metrics"]

@@ -1,0 +1,655 @@
+"""Tests for the open-loop throughput subsystem (repro.throughput)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.throughput import (
+    flattens,
+    is_monotone_nondecreasing,
+    throughput_rows,
+)
+from repro.core.state import InformationState
+from repro.experiments import ExperimentSpec, run_batch
+from repro.faults.schedule import DynamicFaultSchedule
+from repro.mesh.topology import Mesh
+from repro.simulator.engine import SimulationConfig, Simulator
+from repro.simulator.traffic import BatchSource, TrafficMessage
+from repro.throughput import (
+    BernoulliInjection,
+    BurstyInjection,
+    MeasurementWindows,
+    OpenLoopSource,
+    find_saturation,
+    load_curves,
+    make_injection,
+    measure_open_loop,
+    run_throughput_point,
+)
+from repro.throughput.measure import ThroughputResult
+
+
+class TestInjectionProcesses:
+    def test_bernoulli_rate_and_determinism(self):
+        process = BernoulliInjection(0.25)
+        rng1, rng2 = np.random.default_rng(7), np.random.default_rng(7)
+        masks1 = [process.injecting(rng1, 1000) for _ in range(20)]
+        masks2 = [process.injecting(rng2, 1000) for _ in range(20)]
+        for a, b in zip(masks1, masks2):
+            assert (a == b).all()
+        mean = np.mean([m.mean() for m in masks1])
+        assert 0.2 < mean < 0.3
+
+    def test_bernoulli_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliInjection(1.5)
+
+    def test_bursty_mean_rate_matches(self):
+        process = BurstyInjection(0.1, burstiness=4.0, mean_burst=8.0)
+        rng = np.random.default_rng(3)
+        total = sum(process.injecting(rng, 500).sum() for _ in range(2000))
+        mean = total / (500 * 2000)
+        assert 0.07 < mean < 0.13
+
+    def test_bursty_is_clustered(self):
+        # A single node's on/off stream should have long runs of silence.
+        process = BurstyInjection(0.1, burstiness=4.0, mean_burst=8.0)
+        rng = np.random.default_rng(5)
+        stream = [bool(process.injecting(rng, 1)[0]) for _ in range(4000)]
+        silent = max(
+            len(run)
+            for run in "".join("x" if s else "." for s in stream).split("x")
+        )
+        # Bernoulli at 0.1 would practically never stay silent ~40x longer
+        # than its mean gap; an off-phase process does.
+        assert silent > 100
+
+    def test_make_injection_unknown(self):
+        with pytest.raises(ValueError, match="unknown injection"):
+            make_injection("poisson", 0.1)
+
+
+class TestOpenLoopSource:
+    def _source(self, **kwargs):
+        mesh = Mesh((5, 5))
+        defaults = dict(pattern="uniform", seed=0, flits=16)
+        defaults.update(kwargs)
+        return mesh, OpenLoopSource(mesh, BernoulliInjection(0.5), **defaults)
+
+    def test_one_port_per_node(self):
+        mesh, source = self._source()
+        emitted = source.poll(0) + source.poll(1) + source.poll(2)
+        sources = [m.source for m in emitted]
+        # Ports stay busy until the simulator reports completion, so a node
+        # never has two setups in flight — later generations queue up.
+        assert len(sources) == len(set(sources))
+        assert source.queued > 0
+        assert source.generated == source.injected + source.queued
+
+    def test_message_finished_frees_port_and_retries_failures(self):
+        from repro.core.routing import RouteOutcome, RouteResult
+        from repro.simulator.stats import MessageRecord
+
+        mesh, source = self._source(retry_backoff=0)
+        message = source.poll(0)[0]
+        result = RouteResult(
+            outcome=RouteOutcome.EXHAUSTED,
+            path=[message.source],
+            source=message.source,
+            destination=message.destination,
+            min_distance=1,
+            forward_hops=0,
+            backtrack_hops=0,
+        )
+        source.message_finished(
+            MessageRecord(message=message, result=result, finish_step=3)
+        )
+        # The failed message is re-issued first, keeping its creation step.
+        retried = [m for m in source.poll(4) if m.source == message.source]
+        assert len(retried) == 1
+        assert retried[0].destination == message.destination
+        assert retried[0].created_time == 0
+
+    def test_retry_backoff_delays_reissue(self):
+        from repro.core.routing import RouteOutcome, RouteResult
+        from repro.simulator.stats import MessageRecord
+
+        mesh, source = self._source(retry_backoff=10)
+        message = source.poll(0)[0]
+        result = RouteResult(
+            outcome=RouteOutcome.EXHAUSTED,
+            path=[message.source],
+            source=message.source,
+            destination=message.destination,
+            min_distance=1,
+            forward_hops=0,
+            backtrack_hops=0,
+        )
+        source.message_finished(
+            MessageRecord(message=message, result=result, finish_step=3)
+        )
+        assert all(m.source != message.source for m in source.poll(4))
+        retried = [m for m in source.poll(14) if m.source == message.source]
+        assert len(retried) == 1
+
+    def test_transpose_pattern_reverses_coordinates(self):
+        mesh = Mesh((6, 6))
+        source = OpenLoopSource(
+            mesh, BernoulliInjection(1.0), pattern="transpose", seed=0
+        )
+        for message in source.poll(0):
+            assert message.destination == tuple(reversed(message.source))
+
+    def test_transpose_requires_cubic_mesh(self):
+        mesh = Mesh((6, 4))
+        with pytest.raises(ValueError, match="cubic"):
+            OpenLoopSource(mesh, BernoulliInjection(0.1), pattern="transpose")
+
+    def test_hotspot_concentrates_traffic(self):
+        mesh = Mesh((7, 7))
+        source = OpenLoopSource(
+            mesh,
+            BernoulliInjection(1.0),
+            pattern="hotspot",
+            seed=0,
+            hotspot_fraction=1.0,
+        )
+        emitted = source.poll(0)
+        assert emitted
+        for message in emitted:
+            if message.source != (3, 3):  # the hotspot itself sends uniform
+                assert message.destination == (3, 3)
+
+    def test_stop_freezes_generation_and_emission(self):
+        mesh, source = self._source(stop=2)
+        source.poll(0)
+        source.poll(1)
+        generated = source.generated
+        assert source.poll(2) == []
+        assert source.generated == generated
+        assert source.exhausted(2)
+        assert not source.exhausted(1)
+
+    def test_excluded_nodes_never_endpoints(self):
+        mesh = Mesh((5, 5))
+        excluded = {(2, 2), (1, 3)}
+        source = OpenLoopSource(
+            mesh, BernoulliInjection(1.0), pattern="uniform", seed=0, exclude=excluded
+        )
+        for message in source.poll(0):
+            assert message.source not in excluded
+            assert message.destination not in excluded
+
+
+class TestStreamingSourceParity:
+    """A BatchSource-fed simulator equals the historic list-fed one."""
+
+    def _scenario(self):
+        from repro.workloads.congestion import transpose_scenario
+
+        return transpose_scenario(radix=6, n_dims=2, dynamic_faults=3, seed=5)
+
+    @pytest.mark.parametrize("contention", [False, True])
+    def test_batch_source_equals_list(self, contention):
+        results = []
+        for as_source in (False, True):
+            scenario = self._scenario()
+            traffic = list(scenario.traffic)
+            sim = Simulator(
+                scenario.mesh,
+                schedule=scenario.schedule,
+                traffic=BatchSource(traffic) if as_source else traffic,
+                config=SimulationConfig(
+                    router="limited-global", contention=contention
+                ),
+            )
+            stats = sim.run().stats
+            results.append(
+                (
+                    stats.summary(),
+                    [
+                        (m.message.source, m.message.destination,
+                         m.result.outcome.value, m.result.hops, m.finish_step)
+                        for m in stats.messages
+                    ],
+                )
+            )
+        assert results[0] == results[1]
+
+
+class TestBatchedStepping:
+    """Per-node batched decisions are byte-identical to the per-probe loop."""
+
+    @pytest.mark.parametrize("contention", [False, True])
+    @pytest.mark.parametrize(
+        "router", ["limited-global", "no-information", "static-block",
+                   "global-information"]
+    )
+    def test_batched_equals_legacy(self, contention, router):
+        from repro.workloads.congestion import transpose_scenario
+
+        results = []
+        for batch in (True, False):
+            scenario = transpose_scenario(radix=6, n_dims=2, dynamic_faults=3, seed=2)
+            sim = Simulator(
+                scenario.mesh,
+                schedule=scenario.schedule,
+                traffic=list(scenario.traffic),
+                config=SimulationConfig(
+                    router=router, contention=contention, batch_by_node=batch
+                ),
+            )
+            stats = sim.run().stats
+            results.append(
+                (
+                    stats.summary(),
+                    [
+                        (m.message.source, m.message.destination,
+                         m.result.outcome.value, m.result.hops,
+                         tuple(m.result.path), m.finish_step)
+                        for m in stats.messages
+                    ],
+                )
+            )
+        assert results[0] == results[1]
+
+    def test_decision_cache_tracks_information_changes(self):
+        from repro.core.routing import DecisionCache, RoutingPolicy
+
+        mesh = Mesh((5, 5))
+        info = InformationState.fresh(mesh)
+        cache = DecisionCache(info, RoutingPolicy.limited_global())
+        before = cache.context((2, 2))
+        assert cache.context((2, 2)) is before  # cached while unchanged
+        info.labeling.make_faulty((2, 3))
+        after = cache.context((2, 2))
+        assert after is not before
+        assert len(after.usable) == len(before.usable) - 1
+
+
+class TestWindowedMeasurement:
+    def test_low_load_accepts_everything(self):
+        result = run_throughput_point(
+            (6, 6),
+            "limited-global",
+            "uniform",
+            0.002,
+            faults=0,
+            seed=3,
+            windows=MeasurementWindows(warmup=20, measure=100, drain=150),
+        )
+        assert result.delivery_rate == 1.0
+        assert result.unfinished == 0
+        assert result.accepted_throughput == pytest.approx(
+            result.offered_load, rel=0.35
+        )
+        assert 0 < result.mean_setup_latency <= result.p99_setup_latency
+
+    def test_samples_cover_measurement_window(self):
+        windows = MeasurementWindows(warmup=20, measure=100, drain=100, sample_every=25)
+        result = run_throughput_point(
+            (6, 6), "limited-global", "uniform", 0.02, faults=2, seed=1,
+            windows=windows,
+        )
+        assert len(result.samples) == 4
+        assert result.samples[0].start_step == 20
+        assert sum(s.injected for s in result.samples) == result.injected
+        for sample in result.samples:
+            assert sample.mean_reserved_links >= 0.0
+
+    def test_windows_validation(self):
+        with pytest.raises(ValueError):
+            MeasurementWindows(measure=0)
+
+    def test_to_row_keys(self):
+        result = run_throughput_point(
+            (5, 5), "no-information", "uniform", 0.01, faults=0, seed=0,
+            windows=MeasurementWindows(warmup=10, measure=40, drain=60),
+        )
+        row = result.to_row()
+        for key in ("rate", "offered_load", "accepted_throughput",
+                    "mean_setup_latency", "p99_setup_latency", "delivery_rate",
+                    "unfinished"):
+            assert key in row
+
+
+class TestOpenLoopDeterminismAndParity:
+    def test_same_seed_same_windowed_stats(self):
+        rows = [
+            run_throughput_point(
+                (6, 6), "limited-global", "transpose", 0.03, faults=2, seed=9,
+                windows=MeasurementWindows(warmup=16, measure=64, drain=120),
+            ).to_row()
+            for _ in range(2)
+        ]
+        assert rows[0] == rows[1]
+
+    def test_serial_equals_parallel_batch(self):
+        spec = ExperimentSpec(
+            name="tp-det",
+            mode="throughput",
+            mesh_shapes=((6, 6),),
+            policies=("limited-global", "no-information"),
+            scenarios=("transpose",),
+            fault_counts=(2,),
+            rates=(0.01, 0.05),
+            seeds=(0, 1),
+            warmup=16,
+            measure=64,
+            drain=120,
+        )
+        serial = run_batch(spec, workers=1).to_json()
+        parallel = run_batch(spec, workers=4).to_json()
+        assert serial == parallel
+
+    @pytest.mark.parametrize("policy", ["limited-global", "no-information"])
+    def test_low_load_matches_closed_batch(self, policy):
+        """Near-zero rate: open-loop latencies equal a closed-batch replay."""
+        mesh = Mesh((6, 6))
+        schedule = DynamicFaultSchedule.static([(2, 2)])
+        config = SimulationConfig(router=policy, contention=True, max_steps=10**9)
+        source = OpenLoopSource(
+            mesh,
+            BernoulliInjection(0.002),
+            pattern="uniform",
+            seed=4,
+            flits=16,
+            exclude=[(2, 2)],
+            stop=300,
+        )
+        open_sim = Simulator(mesh, schedule=schedule, traffic=source, config=config)
+        open_sim.run()
+        open_records = {
+            (m.message.source, m.message.destination, m.message.start_time):
+            (m.result.outcome.value, m.result.hops, m.finish_step)
+            for m in open_sim.stats.messages
+        }
+        assert len(open_records) >= 3  # the rate actually generated traffic
+
+        replay = [
+            TrafficMessage(source=s, destination=d, start_time=t, flits=16)
+            for (s, d, t) in open_records
+        ]
+        closed_sim = Simulator(
+            mesh,
+            schedule=DynamicFaultSchedule.static([(2, 2)]),
+            traffic=replay,
+            config=SimulationConfig(router=policy, contention=True, max_steps=10**9),
+        )
+        closed_sim.run()
+        closed_records = {
+            (m.message.source, m.message.destination, m.message.start_time):
+            (m.result.outcome.value, m.result.hops, m.finish_step)
+            for m in closed_sim.stats.messages
+        }
+        assert open_records == closed_records
+
+
+class TestSaturation:
+    def _fake_measure(self, saturation_rate):
+        def measure(rate):
+            latency = 5.0 if rate <= saturation_rate else 80.0
+            accepted = min(rate, saturation_rate)
+            return ThroughputResult(
+                policy="fake",
+                pattern="uniform",
+                rate=rate,
+                injected=100,
+                delivered=100,
+                failed=0,
+                unfinished=0,
+                offered_load=rate,
+                accepted_throughput=accepted,
+                mean_setup_latency=latency,
+                p99_setup_latency=latency * 2,
+                samples=(),
+                steps=100,
+            )
+
+        return measure
+
+    def test_find_saturation_brackets_the_knee(self):
+        rate, probed = find_saturation(
+            self._fake_measure(0.1), low=0.01, high=0.4, iterations=8
+        )
+        assert 0.08 <= rate <= 0.12
+        assert probed == sorted(probed, key=lambda p: p.rate)
+
+    def test_find_saturation_validation(self):
+        with pytest.raises(ValueError):
+            find_saturation(self._fake_measure(0.1), low=0.5, high=0.4)
+
+    def test_shape_checks(self):
+        assert is_monotone_nondecreasing([1.0, 1.2, 1.19, 1.3], tolerance=0.1)
+        assert not is_monotone_nondecreasing([1.0, 2.0, 1.0], tolerance=0.1)
+        assert flattens([0.01, 0.02, 0.04, 0.08], [0.009, 0.018, 0.022, 0.023])
+        assert not flattens([0.01, 0.02, 0.04, 0.08], [0.009, 0.018, 0.036, 0.072])
+
+    def test_acceptance_curve_monotone_and_flattening(self):
+        """The PR acceptance criterion: limited-global on an 8x8 mesh."""
+        windows = MeasurementWindows(warmup=30, measure=120, drain=240)
+        offered, accepted = [], []
+        for rate in (0.002, 0.005, 0.01, 0.02, 0.04, 0.08):
+            result = run_throughput_point(
+                (8, 8), "limited-global", "transpose", rate, faults=4, seed=0,
+                windows=windows,
+            )
+            offered.append(result.offered_load)
+            accepted.append(result.accepted_throughput)
+        assert is_monotone_nondecreasing(accepted, tolerance=0.15)
+        assert flattens(offered, accepted)
+
+    def test_load_curves_and_rows(self):
+        batch, curves = load_curves(
+            (6, 6),
+            ["limited-global"],
+            [0.01, 0.05],
+            pattern="uniform",
+            faults=2,
+            windows=MeasurementWindows(warmup=16, measure=64, drain=120),
+        )
+        curve = curves["limited-global"]
+        assert [p.rate for p in curve.points] == [0.01, 0.05]
+        rows = throughput_rows(batch)
+        assert [r["rate"] for r in rows["limited-global"]] == [0.01, 0.05]
+
+
+class TestGlobalProbeTimeoutRelease:
+    def test_probe_releases_after_wait_timeout(self):
+        from repro.core.routing import RouteOutcome
+        from repro.routing import GlobalPathProbe
+
+        mesh = Mesh((4, 4))
+        info = InformationState.fresh(mesh)
+        probe = GlobalPathProbe(mesh, (0, 0), (3, 0), wait_timeout=3)
+        assert probe.step(info) is None
+        assert probe.current == (1, 0)
+
+        fence = (lambda u, v: True)
+        for _ in range(2):
+            assert probe.step(info, link_blocked=fence) is None
+            assert probe.current == (1, 0)  # waiting, still holding its link
+            assert probe.timeout_releases == 0
+        assert probe.step(info, link_blocked=fence) is None
+        assert probe.timeout_releases == 1
+        assert probe.current == (0, 0)  # released the circuit, back at source
+        assert probe.backtrack_hops == 1
+
+        # Once the reservations clear, the retried setup delivers.
+        for _ in range(10):
+            if probe.step(info) is not None:
+                break
+        assert probe.outcome is RouteOutcome.DELIVERED
+
+    def test_simulator_counts_timeout_releases(self):
+        from repro.mesh.coords import canonical_link
+
+        mesh = Mesh((4, 4))
+        message = TrafficMessage(source=(0, 0), destination=(3, 3), start_time=0)
+        sim = Simulator(
+            mesh,
+            traffic=[message],
+            config=SimulationConfig(router="global-information", contention=True),
+        )
+        sim.step()  # probe advances one hop, holding one link
+        probe = sim._probes[0][1]
+        probe.wait_timeout = 2  # keep the test short
+        held = {canonical_link(u, v) for u, v in zip(probe.path, probe.path[1:])}
+        foreign = 10**6
+        for node in mesh.nodes():
+            for neighbor in mesh.neighbors(node):
+                link = canonical_link(node, neighbor)
+                if link not in held and not sim.circuits.is_blocked(foreign, *link):
+                    sim.circuits.reserve_link(foreign, *link)
+        for _ in range(4):  # fenced in: waits, then times out and releases
+            sim.step()
+        assert probe.timeout_releases >= 1
+        sim.circuits.release(foreign)
+        result = sim.run()
+        assert result.stats.timeout_releases >= 1
+        assert result.stats.summary()["timeout_releases"] >= 1.0
+        assert result.stats.delivery_rate == 1.0
+
+
+class TestThroughputSpec:
+    def test_flits_and_scenario_are_axes(self):
+        spec = ExperimentSpec(
+            mode="simulate",
+            scenarios=("random", "hotspot"),
+            flits=(16, 64),
+            policies=("limited-global", "no-information"),
+        )
+        cells = spec.cells()
+        assert spec.cell_count == len(cells) == 2 * 2 * 2
+        assert {c.scenario for c in cells} == {"random", "hotspot"}
+        assert {c.flits for c in cells} == {16, 64}
+
+    def test_cell_seed_policy_invariant_across_new_axes(self):
+        spec = ExperimentSpec(
+            mode="throughput",
+            scenarios=("uniform", "transpose"),
+            rates=(0.01, 0.05),
+            flits=(16, 64),
+            policies=("limited-global", "static-block", "no-information"),
+        )
+        by_config = {}
+        for cell in spec.cells():
+            by_config.setdefault(cell.config_key(), set()).add(cell.cell_seed)
+        for seeds in by_config.values():
+            assert len(seeds) == 1  # every policy shares the configuration seed
+        # The rate is likewise excluded from the derivation: every point of
+        # one load curve shares the same fault layout and random stream.
+        by_curve = {}
+        for cell in spec.cells():
+            key = tuple(k for k in cell.config_key() if not isinstance(k, float))
+            by_curve.setdefault(key, set()).add(cell.cell_seed)
+        for seeds in by_curve.values():
+            assert len(seeds) == 1
+        distinct = {c.cell_seed for c in spec.cells()}
+        assert len(distinct) == len(by_curve)
+
+    def test_throughput_mode_forces_contention(self):
+        spec = ExperimentSpec(mode="throughput")
+        assert spec.contention is True
+        assert spec.scenarios == ("uniform",)
+
+    def test_scenario_validation_per_mode(self):
+        with pytest.raises(ValueError, match="not valid"):
+            ExperimentSpec(mode="simulate", scenarios=("uniform",))
+        with pytest.raises(ValueError, match="not valid"):
+            ExperimentSpec(mode="throughput", scenarios=("bursty",))
+        with pytest.raises(ValueError, match="not valid"):
+            ExperimentSpec(mode="offline", scenarios=("hotspot",))
+
+    def test_transpose_requires_cubic_shapes(self):
+        with pytest.raises(ValueError, match="cubic"):
+            ExperimentSpec(
+                mode="simulate", scenarios=("transpose",), mesh_shapes=((8, 4),)
+            )
+
+    def test_rates_validation(self):
+        with pytest.raises(ValueError, match="rates"):
+            ExperimentSpec(mode="simulate", rates=(0.1, 0.2))
+        with pytest.raises(ValueError, match="rates"):
+            ExperimentSpec(mode="throughput", rates=(0.0,))
+
+    def test_scenario_axis_runs_in_simulate_mode(self):
+        spec = ExperimentSpec(
+            mode="simulate",
+            mesh_shapes=((6, 6),),
+            scenarios=("hotspot", "bursty"),
+            fault_counts=(2,),
+            traffic_sizes=(6,),
+        )
+        batch = run_batch(spec)
+        assert len(batch) == 2
+        for result in batch.results:
+            assert result.metrics["messages"] > 0
+
+
+class TestThroughputCli:
+    def test_throughput_command_prints_curve(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "throughput", "--shape", "6,6", "--policy", "limited-global",
+                "--scenario", "transpose", "--rates", "0.01,0.05",
+                "--faults", "2", "--warmup", "16", "--measure", "64",
+                "--drain", "120",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "policy limited-global:" in out
+        assert "accepted" in out
+
+    def test_throughput_command_writes_json(self, capsys, tmp_path):
+        import json
+
+        from repro.cli import main
+
+        out_path = tmp_path / "curve.json"
+        code = main(
+            [
+                "throughput", "--shape", "5,5", "--policy", "no-information",
+                "--rates", "0.01", "--faults", "0", "--warmup", "8",
+                "--measure", "32", "--drain", "60", "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["spec"]["mode"] == "throughput"
+        assert payload["cells"][0]["rate"] == 0.01
+
+
+class TestEngineLabelingSkip:
+    """The stable-labeling skip must not change any statistic."""
+
+    def test_dynamic_schedule_stats_unchanged_by_skip(self):
+        from repro.workloads.scenarios import random_dynamic_scenario
+
+        class NoSkipSimulator(Simulator):
+            """Forces a real labeling round every step (the pre-skip engine)."""
+
+            def step(self):
+                self._labeling_stable = False
+                super().step()
+
+        def run(cls):
+            scenario = random_dynamic_scenario(
+                shape=(6, 6), dynamic_faults=3, interval=7, messages=8, seed=11
+            )
+            sim = cls(
+                scenario.mesh,
+                schedule=scenario.schedule,
+                traffic=list(scenario.traffic),
+                config=SimulationConfig(router="limited-global"),
+            )
+            stats = sim.run().stats
+            return (
+                stats.summary(),
+                stats.total_rounds,
+                [(c.labeling_rounds, c.total_rounds) for c in stats.convergence],
+            )
+
+        assert run(Simulator) == run(NoSkipSimulator)
