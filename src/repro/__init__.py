@@ -49,6 +49,7 @@ from repro.core import (
     route_offline,
     run_block_construction,
 )
+from repro.backend import default_backend, resolve_backend
 from repro.core.distribution import distribute_information
 from repro.core.routing import RoutingProbe
 from repro.faults import (
@@ -101,6 +102,7 @@ __all__ = [
     "available_routers",
     "build_blocks",
     "compute_boundaries",
+    "default_backend",
     "distribute_information",
     "dynamic_schedule",
     "extract_blocks",
@@ -108,6 +110,7 @@ __all__ = [
     "minimal_path_exists",
     "oracle_identify",
     "register_router",
+    "resolve_backend",
     "resolve_router",
     "route_offline",
     "route_with",

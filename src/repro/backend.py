@@ -1,0 +1,54 @@
+"""Scalar/vector backend selection for the hot-loop implementations.
+
+Two of the steady-state hot loops — the labeling rounds of block
+construction and the live circuit-reservation ledger — exist in two
+byte-identical implementations: a pure-Python *scalar* reference loop and
+a numpy-vectorized *vector* engine.  The vector engine is the default; the
+scalar path is kept as the parity oracle (the randomized parity tests
+assert identical statuses, block extents and reserved-link sets) and as
+the benchmark baseline.  Both run on the same numpy-backed state — numpy
+is a runtime dependency of the package either way.
+
+Selection, in priority order:
+
+1. an explicit argument (``labeling_round(state, backend="scalar")``,
+   ``SimulationConfig(backend="vector")``),
+2. the ``REPRO_BACKEND`` environment variable (``vector`` or ``scalar``),
+3. the built-in default (``vector``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+VECTOR = "vector"
+SCALAR = "scalar"
+_BACKENDS = (VECTOR, SCALAR)
+
+#: Environment variable overriding the default backend.
+ENV_VAR = "REPRO_BACKEND"
+
+
+def default_backend() -> str:
+    """The backend used when no explicit choice is made."""
+    value = os.environ.get(ENV_VAR)
+    if value is not None:
+        value = value.strip().lower()
+        if value not in _BACKENDS:
+            raise ValueError(
+                f"{ENV_VAR}={value!r} is not a known backend; choose from {_BACKENDS}"
+            )
+        return value
+    return VECTOR
+
+
+def resolve_backend(explicit: Optional[str] = None) -> str:
+    """Resolve an explicit backend name (``None`` → environment/default)."""
+    if explicit is None:
+        return default_backend()
+    if explicit not in _BACKENDS:
+        raise ValueError(
+            f"unknown backend {explicit!r}; choose from {_BACKENDS}"
+        )
+    return explicit

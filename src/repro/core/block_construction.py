@@ -18,9 +18,10 @@ after the ``i``-th fault change is the paper's ``a_i``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.faults.status import NodeStatus
+from repro.backend import VECTOR, resolve_backend
+from repro.faults.status import STATUS_BY_CODE, NodeStatus
 from repro.core.faulty_block import FaultyBlock
 from repro.mesh.topology import Mesh
 
@@ -30,19 +31,29 @@ Coord = Tuple[int, ...]
 #: in at most O(diameter) rounds, so hitting this limit indicates a bug.
 DEFAULT_MAX_ROUNDS = 10_000
 
+_ENABLED = NodeStatus.ENABLED.code
+_CLEAN = NodeStatus.CLEAN.code
+_DISABLED = NodeStatus.DISABLED.code
+_FAULTY = NodeStatus.FAULTY.code
 
-@dataclass
+
+@dataclass(eq=False)
 class LabelingState:
     """Per-node status map for the labeling scheme.
 
-    Statuses live in a flat array indexed by :meth:`Mesh.index_of` (row-major
-    linear index), so the routing hot path's status lookups avoid tuple
-    hashing; the indices of non-enabled nodes are tracked on the side, since
-    only those (and their neighbors) participate in the labeling rounds.
+    Statuses live in a flat ``int8`` numpy array of status *codes* indexed by
+    :meth:`Mesh.index_of` (row-major linear index), so the routing hot
+    path's status lookups avoid tuple hashing and the vectorized labeling
+    engine can gather neighbor statuses in one stencil pass; the indices of
+    non-enabled nodes are tracked on the side, since only those (and their
+    neighbors) participate in the labeling rounds.  The scalar accessors
+    (:meth:`status`, :meth:`set_status`, …) are thin views over the codes
+    array, so both the scalar and vectorized round implementations share one
+    representation.
     """
 
     mesh: Mesh
-    _statuses: List[NodeStatus] = field(default_factory=list)
+    _statuses: object = field(default=None)
     _non_enabled: Set[int] = field(default_factory=set)
 
     #: Count of effective status changes; lets observers (e.g. the
@@ -51,8 +62,22 @@ class LabelingState:
     mutations: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
-        if not self._statuses:
-            self._statuses = [NodeStatus.ENABLED] * self.mesh.size
+        import numpy as np
+
+        if self._statuses is None or (
+            not isinstance(self._statuses, np.ndarray) and not self._statuses
+        ):
+            self._statuses = np.zeros(self.mesh.size, dtype=np.int8)
+        elif not isinstance(self._statuses, np.ndarray):
+            # Historic constructor shape: a list of NodeStatus per node.
+            self._statuses = np.array(
+                [s.code for s in self._statuses], dtype=np.int8
+            )
+
+    @property
+    def codes(self):
+        """The backing ``int8`` status-code array (shared, not a copy)."""
+        return self._statuses
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -66,10 +91,10 @@ class LabelingState:
         return state
 
     def copy(self) -> "LabelingState":
-        """Deep copy of the state (statuses are immutable enum members)."""
+        """Deep copy of the state (status codes are plain integers)."""
         return LabelingState(
             mesh=self.mesh,
-            _statuses=list(self._statuses),
+            _statuses=self._statuses.copy(),
             _non_enabled=set(self._non_enabled),
             mutations=self.mutations,
         )
@@ -92,15 +117,16 @@ class LabelingState:
                 idx = idx * s + c
             else:
                 return NodeStatus.ENABLED
-        return self._statuses[idx]
+        return STATUS_BY_CODE[self._statuses[idx]]
 
     def set_status(self, node: Sequence[int], status: NodeStatus) -> None:
         """Set ``node``'s status, dropping the entry when it becomes enabled."""
         idx = self.mesh.index_of(node)
-        if self._statuses[idx] is status:
+        code = status.code
+        if self._statuses[idx] == code:
             return
-        self._statuses[idx] = status
-        if status is NodeStatus.ENABLED:
+        self._statuses[idx] = code
+        if code == _ENABLED:
             self._non_enabled.discard(idx)
         else:
             self._non_enabled.add(idx)
@@ -125,7 +151,8 @@ class LabelingState:
         if status is NodeStatus.ENABLED:
             raise ValueError("enabled nodes are implicit; enumerate the mesh instead")
         coord_of = self.mesh.coord_of
-        return {coord_of(i) for i in self._non_enabled if self._statuses[i] is status}
+        code = status.code
+        return {coord_of(i) for i in self._non_enabled if self._statuses[i] == code}
 
     @property
     def faulty_nodes(self) -> Set[Coord]:
@@ -146,12 +173,15 @@ class LabelingState:
     def block_nodes(self) -> Set[Coord]:
         """Faulty and disabled nodes (the members of faulty blocks)."""
         coord_of = self.mesh.coord_of
-        return {coord_of(i) for i in self._non_enabled if self._statuses[i].in_block}
+        return {coord_of(i) for i in self._non_enabled if self._statuses[i] >= _DISABLED}
 
     def non_enabled_nodes(self) -> Dict[Coord, NodeStatus]:
         """Mapping of every explicitly-tracked (non-enabled) node."""
         coord_of = self.mesh.coord_of
-        return {coord_of(i): self._statuses[i] for i in sorted(self._non_enabled)}
+        return {
+            coord_of(i): STATUS_BY_CODE[self._statuses[i]]
+            for i in sorted(self._non_enabled)
+        }
 
     def is_operational(self, node: Sequence[int]) -> bool:
         """True iff ``node`` is not faulty."""
@@ -234,13 +264,8 @@ def _candidate_nodes(state: LabelingState) -> Set[Coord]:
     return candidates
 
 
-def labeling_round(state: LabelingState) -> int:
-    """Run one synchronous round of Algorithm 1 in place.
-
-    Every candidate node reads its neighbors' *old* statuses and computes its
-    new status; all updates are then applied simultaneously.  Returns the
-    number of nodes whose status changed.
-    """
+def _labeling_round_scalar(state: LabelingState) -> int:
+    """Pure-Python reference round (the parity oracle for the vector engine)."""
     mesh = state.mesh
     updates: List[Tuple[Coord, NodeStatus]] = []
     for node in _candidate_nodes(state):
@@ -253,6 +278,79 @@ def labeling_round(state: LabelingState) -> int:
     for node, status in updates:
         state.set_status(node, status)
     return len(updates)
+
+
+def _labeling_round_vector(state: LabelingState) -> int:
+    """One synchronous round as stencil gathers over the flat status array.
+
+    Rules 1–4 only depend on each node's own status and, per dimension,
+    on whether *some* neighbor along that dimension is clean / faulty /
+    disabled-or-faulty — so one gather through the mesh's neighbor-index
+    table plus a per-dimension OR-reduction evaluates every rule for every
+    node at once.  Evaluating the whole mesh (instead of the scalar path's
+    candidate set) changes nothing: a node with no non-enabled neighbor
+    satisfies no rule precondition, which is exactly why the scalar path may
+    skip it.
+    """
+    if not state._non_enabled:
+        return 0
+    import numpy as np
+
+    mesh = state.mesh
+    codes = state._statuses
+    n = mesh.n_dims
+    # Gather neighbor statuses; the sentinel row (index == size) reads the
+    # trailing ENABLED pad, matching the scalar "off-mesh is enabled" view.
+    padded = np.empty(mesh.size + 1, dtype=np.int8)
+    padded[:-1] = codes
+    padded[-1] = _ENABLED
+    nb = padded[mesh.neighbor_gather_table]  # (size, 2n), surface order
+
+    # Per-dimension presence masks: columns d and d+n are the two sides of
+    # dimension d, so one OR folds them into "dimension d has such a neighbor".
+    block_nb = nb >= _DISABLED
+    df_dims = (block_nb[:, :n] | block_nb[:, n:]).sum(axis=1, dtype=np.int16)
+    faulty_nb = nb == _FAULTY
+    f_dims = (faulty_nb[:, :n] | faulty_nb[:, n:]).sum(axis=1, dtype=np.int16)
+    has_clean = (nb == _CLEAN).any(axis=1)
+
+    new = codes.copy()
+    # rule 1: enabled + disabled/faulty neighbors along >= 2 dimensions.
+    new[(codes == _ENABLED) & (df_dims >= 2)] = _DISABLED
+    # rule 2: disabled + a clean neighbor + faulty neighbors along < 2 dims.
+    new[(codes == _DISABLED) & has_clean & (f_dims < 2)] = _CLEAN
+    # rules 3/4: clean goes disabled on >= 2 faulty dimensions, else enabled.
+    clean = codes == _CLEAN
+    new[clean] = np.where(f_dims[clean] >= 2, _DISABLED, _ENABLED)
+
+    changed = np.flatnonzero(new != codes)
+    if changed.size == 0:
+        return 0
+    codes[changed] = new[changed]
+    non_enabled = state._non_enabled
+    for i in changed.tolist():
+        if codes[i] == _ENABLED:
+            non_enabled.discard(i)
+        else:
+            non_enabled.add(i)
+    state.mutations += int(changed.size)
+    return int(changed.size)
+
+
+def labeling_round(state: LabelingState, *, backend: Optional[str] = None) -> int:
+    """Run one synchronous round of Algorithm 1 in place.
+
+    Every candidate node reads its neighbors' *old* statuses and computes its
+    new status; all updates are then applied simultaneously.  Returns the
+    number of nodes whose status changed.
+
+    ``backend`` selects the scalar reference loop or the numpy-vectorized
+    engine (``None`` resolves via :func:`repro.backend.resolve_backend`);
+    both produce byte-identical statuses, change counts and mutation stamps.
+    """
+    if resolve_backend(backend) == VECTOR:
+        return _labeling_round_vector(state)
+    return _labeling_round_scalar(state)
 
 
 @dataclass(frozen=True)
@@ -276,13 +374,20 @@ class BlockConstructionResult:
 
 
 def run_block_construction(
-    state: LabelingState, max_rounds: int = DEFAULT_MAX_ROUNDS
+    state: LabelingState,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    *,
+    backend: Optional[str] = None,
 ) -> BlockConstructionResult:
     """Iterate :func:`labeling_round` until no status changes (Algorithm 1)."""
+    resolved = resolve_backend(backend)
+    round_fn = (
+        _labeling_round_vector if resolved == VECTOR else _labeling_round_scalar
+    )
     rounds = 0
     total_changes = 0
     while True:
-        changed = labeling_round(state)
+        changed = round_fn(state)
         if changed == 0:
             break
         rounds += 1
@@ -295,11 +400,11 @@ def run_block_construction(
 
 
 def build_blocks(
-    mesh: Mesh, faults: Iterable[Sequence[int]]
+    mesh: Mesh, faults: Iterable[Sequence[int]], *, backend: Optional[str] = None
 ) -> BlockConstructionResult:
     """Convenience wrapper: label from scratch for a static fault set."""
     state = LabelingState.from_faults(mesh, faults)
-    return run_block_construction(state)
+    return run_block_construction(state, backend=backend)
 
 
 def extract_blocks(state: LabelingState) -> List[FaultyBlock]:

@@ -31,7 +31,15 @@ Link = Tuple[Coord, Coord]
 
 @dataclass(frozen=True)
 class LinkFault:
-    """A single faulty link between two adjacent nodes."""
+    """A single faulty link between two adjacent nodes.
+
+    Endpoints are normalized through the shared
+    :func:`repro.mesh.coords.canonical_link` at construction, so two
+    :class:`LinkFault` objects naming the same physical link compare (and
+    hash) equal regardless of the endpoint order they were built with — the
+    same canonicalization the circuit ledger and the contention machinery
+    use.
+    """
 
     u: Coord
     v: Coord
@@ -40,6 +48,7 @@ class LinkFault:
         u, v = tuple(self.u), tuple(self.v)
         if not is_adjacent(u, v):
             raise ValueError(f"{u} and {v} are not adjacent; not a mesh link")
+        u, v = canonical_link(u, v)
         object.__setattr__(self, "u", u)
         object.__setattr__(self, "v", v)
 
@@ -47,6 +56,10 @@ class LinkFault:
     def canonical(self) -> Link:
         """Order-independent link identifier."""
         return canonical_link(self.u, self.v)
+
+    def index_in(self, mesh: Mesh) -> int:
+        """The link's flat canonical index (:meth:`Mesh.link_index`)."""
+        return mesh.link_index(self.u, self.v)
 
 
 @dataclass(frozen=True)
@@ -70,6 +83,15 @@ class LinkFaultSet:
     def is_faulty(self, u: Sequence[int], v: Sequence[int]) -> bool:
         """True iff the link between ``u`` and ``v`` is faulty."""
         return canonical_link(u, v) in self.links
+
+    def indices(self, mesh: Mesh) -> FrozenSet[int]:
+        """The faulty links as flat canonical indices (:meth:`Mesh.link_index`).
+
+        This is the representation the numpy reservation ledger keys by; the
+        round-trip ``mesh.link_of_index(i) in self.links`` holds for every
+        returned index.
+        """
+        return frozenset(mesh.link_index(u, v) for u, v in self.links)
 
     def __len__(self) -> int:
         return len(self.links)

@@ -11,6 +11,7 @@ neighbors have observed the clean status.
 from __future__ import annotations
 
 from enum import Enum
+from typing import Tuple
 
 
 class NodeStatus(str, Enum):
@@ -41,5 +42,33 @@ class NodeStatus(str, Enum):
         """True for statuses counted as block members (faulty or disabled)."""
         return self in (NodeStatus.FAULTY, NodeStatus.DISABLED)
 
+    @property
+    def code(self) -> int:
+        """Dense integer code of the status (see :data:`STATUS_BY_CODE`).
+
+        Codes are ordered so that block membership is the single comparison
+        ``code >= DISABLED.code`` — the invariant the vectorized labeling
+        engine's boolean masks rely on.
+        """
+        return _STATUS_CODES[self]
+
+    @classmethod
+    def from_code(cls, code: int) -> "NodeStatus":
+        """Inverse of :attr:`code`."""
+        return STATUS_BY_CODE[code]
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+#: Status per integer code; the tuple index is the code.  ENABLED must stay
+#: code 0 (fresh status arrays are zero-filled) and FAULTY/DISABLED must be
+#: the two largest codes (``code >= 2`` ⇔ block member).
+STATUS_BY_CODE: Tuple[NodeStatus, ...] = (
+    NodeStatus.ENABLED,
+    NodeStatus.CLEAN,
+    NodeStatus.DISABLED,
+    NodeStatus.FAULTY,
+)
+
+_STATUS_CODES = {status: code for code, status in enumerate(STATUS_BY_CODE)}

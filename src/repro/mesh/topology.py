@@ -205,6 +205,135 @@ class Mesh:
         return coord[direction.dim]
 
     # ------------------------------------------------------------------ #
+    # flat-index views (the vectorized engines' working representation)
+    # ------------------------------------------------------------------ #
+    @property
+    def neighbor_table(self):
+        """Memoized flat neighbor-index table, shape ``(size, 2n)`` int32.
+
+        Column ``j`` holds, for every node (row-major linear index), the
+        linear index of its neighbor in ``self.directions[j]`` — i.e. the
+        paper's surface order: columns ``0..n-1`` are the negative sides of
+        dimensions ``0..n-1`` and columns ``n..2n-1`` the positive sides, so
+        columns ``d`` and ``d + n`` always belong to dimension ``d``.
+        Off-mesh neighbors are ``-1``.  The table is built once per mesh and
+        shared by the vectorized labeling engine.
+        """
+        try:
+            return self._neighbor_table
+        except AttributeError:
+            pass
+        import numpy as np
+
+        n = self.n_dims
+        size = self.size
+        strides = [1] * n
+        for d in range(n - 2, -1, -1):
+            strides[d] = strides[d + 1] * self.shape[d + 1]
+        idx = np.arange(size, dtype=np.int32)
+        coords = np.stack(np.unravel_index(idx, self.shape), axis=1)
+        table = np.full((size, 2 * n), -1, dtype=np.int32)
+        for d in range(n):
+            has_minus = coords[:, d] > 0
+            table[has_minus, d] = idx[has_minus] - strides[d]
+            has_plus = coords[:, d] < self.shape[d] - 1
+            table[has_plus, d + n] = idx[has_plus] + strides[d]
+        table.setflags(write=False)
+        object.__setattr__(self, "_neighbor_table", table)
+        return table
+
+    @property
+    def neighbor_gather_table(self):
+        """:attr:`neighbor_table` with ``-1`` replaced by the sentinel ``size``.
+
+        Gathering from a status array padded with one trailing sentinel cell
+        turns off-mesh neighbors into always-enabled ones — the same
+        semantics the scalar rules get from ``neighbor() is None``.
+        """
+        try:
+            return self._neighbor_gather_table
+        except AttributeError:
+            pass
+        import numpy as np
+
+        table = np.where(self.neighbor_table < 0, self.size, self.neighbor_table)
+        table = table.astype(np.int32)
+        table.setflags(write=False)
+        object.__setattr__(self, "_neighbor_gather_table", table)
+        return table
+
+    @property
+    def link_slots(self) -> int:
+        """Size of the flat canonical-link index space (``size * n_dims``).
+
+        Every mesh link has exactly one slot (see :meth:`link_index`); slots
+        whose lower endpoint sits on the upper mesh face of the dimension are
+        unused, which wastes a little space in exchange for O(1) arithmetic
+        indexing with no per-link hashing.
+        """
+        return self.size * self.n_dims
+
+    def link_index(self, u: Sequence[int], v: Sequence[int]) -> int:
+        """Flat canonical index of the link between neighbors ``u`` and ``v``.
+
+        The index is ``index_of(min(u, v)) * n_dims + dim`` where ``dim`` is
+        the dimension along which the endpoints differ; it is independent of
+        traversal direction, like :func:`repro.mesh.coords.canonical_link`.
+        Results are memoized per endpoint-pair (both orders), so the
+        reservation ledger's per-hop queries cost one dict hit.
+        """
+        try:
+            memo = self._link_index_memo
+        except AttributeError:
+            memo = {}
+            object.__setattr__(self, "_link_index_memo", memo)
+        key = (u, v) if type(u) is tuple and type(v) is tuple else (tuple(u), tuple(v))
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+        if len(key[0]) != self.n_dims or len(key[1]) != self.n_dims:
+            raise ValueError(f"{key[0]} and {key[1]} are not links of mesh {self.shape}")
+        idx = 0
+        dim = -1
+        for d, (a, b, s) in enumerate(zip(key[0], key[1], self.shape)):
+            if not (0 <= a < s and 0 <= b < s):
+                raise ValueError(
+                    f"{key[0]} and {key[1]} are not links of mesh {self.shape}"
+                )
+            if a != b:
+                if dim >= 0 or abs(a - b) != 1:
+                    raise ValueError(f"{key[0]} and {key[1]} are not mesh neighbors")
+                dim = d
+                idx = idx * s + (a if a < b else b)
+            else:
+                idx = idx * s + a
+        if dim < 0:
+            raise ValueError(f"{key[0]} and {key[1]} are the same node")
+        index = idx * self.n_dims + dim
+        memo[key] = index
+        memo[(key[1], key[0])] = index
+        return index
+
+    def link_of_index(self, index: int):
+        """Inverse of :meth:`link_index`: the canonical ``(lo, hi)`` endpoint pair."""
+        if not 0 <= index < self.link_slots:
+            raise ValueError(f"link index {index} out of range for mesh {self.shape}")
+        node, dim = divmod(index, self.n_dims)
+        lo = self.coord_of(node)
+        if lo[dim] + 1 >= self.shape[dim]:
+            raise ValueError(f"link index {index} is an unused slot of mesh {self.shape}")
+        hi = tuple(c + 1 if d == dim else c for d, c in enumerate(lo))
+        return (lo, hi)
+
+    @property
+    def n_links(self) -> int:
+        """Number of physical links ``sum_d (k_d - 1) * prod_{e != d} k_e``."""
+        total = 0
+        for d, s in enumerate(self.shape):
+            total += (s - 1) * (self.size // s)
+        return total
+
+    # ------------------------------------------------------------------ #
     # misc
     # ------------------------------------------------------------------ #
     def index_of(self, coord: Sequence[int]) -> int:

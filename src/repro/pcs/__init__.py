@@ -13,13 +13,25 @@ bookkeeping, which lives here:
   used to convert a path length into an end-to-end message latency.
 """
 
-from repro.pcs.circuit import Circuit, CircuitTable, ReservationError
+from repro.pcs.circuit import (
+    ArrayCircuitLedger,
+    Circuit,
+    CircuitLedger,
+    CircuitTable,
+    LiveCircuitLedger,
+    ReservationError,
+    make_live_ledger,
+)
 from repro.pcs.transfer import TransferModel, transfer_latency
 
 __all__ = [
+    "ArrayCircuitLedger",
     "Circuit",
+    "CircuitLedger",
     "CircuitTable",
+    "LiveCircuitLedger",
     "ReservationError",
     "TransferModel",
+    "make_live_ledger",
     "transfer_latency",
 ]

@@ -15,10 +15,14 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.backend import VECTOR, resolve_backend
 from repro.core.routing import RouteOutcome, RouteResult
 from repro.mesh.coords import canonical_link, is_adjacent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.mesh.topology import Mesh
 
 Coord = Tuple[int, ...]
 Link = Tuple[Coord, Coord]
@@ -112,37 +116,85 @@ class Circuit:
 
 @dataclass
 class CircuitTable:
-    """Link-occupancy bookkeeping across concurrently reserved circuits."""
+    """Link-occupancy bookkeeping across concurrently reserved circuits.
 
+    Without a mesh the table keys links by their canonical endpoint pair in
+    a dict (the historic representation).  Constructed with a mesh it keeps
+    one flat int32 occupancy column over the mesh's canonical link-index
+    space instead, so membership checks are O(1) array reads with no tuple
+    hashing — the representation very large meshes want.
+    """
+
+    mesh: Optional["Mesh"] = None
     _links_in_use: Dict[Link, Circuit] = field(default_factory=dict)
     _circuits: List[Circuit] = field(default_factory=list)
+    #: Slot id per reserved circuit, aligned with ``_circuits`` (array mode).
+    _slots: List[int] = field(default_factory=list, repr=False)
+    _occupancy: object = field(default=None, repr=False)
+    _next_slot: int = field(default=0, repr=False)
+    _reserved_count: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.mesh is not None:
+            import numpy as np
+
+            self._occupancy = np.full(self.mesh.link_slots, -1, dtype=np.int32)
+
+    def _indices(self, circuit: Circuit) -> List[int]:
+        link_index = self.mesh.link_index
+        return [link_index(u, v) for u, v in circuit.links]
 
     def conflicts(self, circuit: Circuit) -> Set[Link]:
         """Links of ``circuit`` already reserved by another circuit."""
-        return {link for link in circuit.links if link in self._links_in_use}
+        if self._occupancy is None:
+            return {link for link in circuit.links if link in self._links_in_use}
+        occupancy = self._occupancy
+        link_index = self.mesh.link_index
+        return {
+            link for link in circuit.links if occupancy[link_index(*link)] >= 0
+        }
 
     def reserve(self, circuit: Circuit) -> None:
         """Reserve every link of ``circuit``; raise on any conflict."""
         conflicts = self.conflicts(circuit)
         if conflicts:
             raise ReservationError(f"links already reserved: {sorted(conflicts)}")
-        for link in circuit.links:
-            self._links_in_use[link] = circuit
+        if self._occupancy is None:
+            for link in circuit.links:
+                self._links_in_use[link] = circuit
+        else:
+            slot = self._next_slot
+            self._next_slot += 1
+            indices = self._indices(circuit)
+            self._occupancy[indices] = slot
+            self._slots.append(slot)
+            self._reserved_count += len(indices)
         self._circuits.append(circuit)
 
     def release(self, circuit: Circuit) -> None:
         """Release every link of ``circuit`` (a no-op for unknown circuits)."""
         if circuit not in self._circuits:
             return
-        self._circuits.remove(circuit)
-        for link in circuit.links:
-            if self._links_in_use.get(link) is circuit:
-                del self._links_in_use[link]
+        position = self._circuits.index(circuit)
+        self._circuits.pop(position)
+        if self._occupancy is None:
+            for link in circuit.links:
+                if self._links_in_use.get(link) is circuit:
+                    del self._links_in_use[link]
+            return
+        slot = self._slots.pop(position)
+        occupancy = self._occupancy
+        for index in self._indices(circuit):
+            if occupancy[index] == slot:
+                occupancy[index] = -1
+                self._reserved_count -= 1
 
     @property
     def reserved_links(self) -> int:
         """Number of links currently reserved."""
-        return len(self._links_in_use)
+        if self._occupancy is None:
+            return len(self._links_in_use)
+        return self._reserved_count
 
     @property
     def circuits(self) -> List[Circuit]:
@@ -272,3 +324,196 @@ class LiveCircuitLedger:
     def active_holders(self) -> int:
         """Number of holders currently reserving at least one link."""
         return len(self._held)
+
+    def reserved_link_set(self) -> Set[Link]:
+        """The canonical links currently reserved (parity/inspection hook)."""
+        return set(self._link_holder)
+
+
+class ArrayCircuitLedger:
+    """Numpy-backed :class:`LiveCircuitLedger` for very large meshes.
+
+    Same API and byte-identical behavior, but link state lives in three flat
+    preallocated columns over the mesh's canonical link-index space
+    (:meth:`Mesh.link_index`): ``holder`` (the reserving holder id, ``-1``
+    free), ``refcount`` (the holder's traversal count of the link) and
+    ``release`` (the step a timed transfer hold expires, ``-1`` none) — so
+    :meth:`is_blocked` and :meth:`reserve_link` are O(1) indexed
+    reads/writes with no per-step dict churn, and :meth:`release_expired`
+    finds every due link in one vectorized numpy sweep over the release
+    column.  (The holder/refcount columns are flat Python lists rather than
+    ndarrays: the engine reads them one element at a time, where list
+    indexing beats numpy scalar indexing; the release column *is* an
+    ndarray because it is only ever swept whole.)  A per-holder set of held
+    link indices is kept on the side so releasing a holder touches only its
+    own links.
+
+    One usage contract (the engine's lifecycle satisfies it, and the dict
+    ledger shares it in practice): a holder reserves no further links after
+    :meth:`hold_until` — the timed release clears exactly the links stamped
+    when the hold was taken.
+    """
+
+    def __init__(self, mesh: "Mesh") -> None:
+        import numpy as np
+
+        self.mesh = mesh
+        slots = mesh.link_slots
+        self._holder: List[int] = [-1] * slots
+        self._refcount: List[int] = [0] * slots
+        self._release = np.full(slots, -1, dtype=np.int64)
+        #: Per holder, the link indices it currently holds (refcounts live in
+        #: the ``refcount`` column; a link has one holder, so no ambiguity).
+        self._held: Dict[int, Set[int]] = {}
+        #: Min-heap of ``(release_step, holder)`` — kept for the exact
+        #: released-holder counting semantics of the dict ledger; the link
+        #: clearing itself is the vectorized column sweep.
+        self._expiries: List[Tuple[int, int]] = []
+        self._reserved_count = 0
+
+    def blocked_for(self, holder: int):
+        """The :data:`~repro.core.routing.LinkBlocked` predicate of ``holder``."""
+        holder_col = self._holder
+        link_index = self.mesh.link_index
+
+        def link_blocked(u: Coord, v: Coord) -> bool:
+            owner = holder_col[link_index(u, v)]
+            return owner >= 0 and owner != holder
+
+        return link_blocked
+
+    def is_blocked(self, holder: int, u: Sequence[int], v: Sequence[int]) -> bool:
+        """True iff the ``u``–``v`` link is reserved by a different holder."""
+        owner = self._holder[self.mesh.link_index(u, v)]
+        return bool(owner >= 0 and owner != holder)
+
+    def reserve_link(self, holder: int, u: Coord, v: Coord) -> None:
+        """Reserve the ``u``–``v`` link for ``holder`` (one forward hop)."""
+        index = self.mesh.link_index(u, v)
+        owner = self._holder[index]
+        if owner >= 0 and owner != holder:
+            raise ReservationError(
+                f"link {canonical_link(u, v)} is held by {owner}, "
+                f"cannot be taken by {holder}"
+            )
+        if owner < 0:
+            self._holder[index] = holder
+            self._reserved_count += 1
+        self._held.setdefault(holder, set()).add(index)
+        self._refcount[index] += 1
+
+    def release_link(self, holder: int, u: Coord, v: Coord) -> None:
+        """Release one traversal of the ``u``–``v`` link (one backtrack)."""
+        index = self.mesh.link_index(u, v)
+        held = self._held.get(holder)
+        if held is None or index not in held:
+            return
+        self._refcount[index] -= 1
+        if self._refcount[index] <= 0:
+            self._refcount[index] = 0
+            self._release[index] = -1
+            held.discard(index)
+            if self._holder[index] == holder:
+                self._holder[index] = -1
+                self._reserved_count -= 1
+            if not held:
+                del self._held[holder]
+
+    def sync(self, holder: int, stack: Sequence[Coord]) -> None:
+        """Make ``holder``'s reservation exactly the links along ``stack``."""
+        link_index = self.mesh.link_index
+        counts: Dict[int, int] = {}
+        for u, v in zip(stack, stack[1:]):
+            index = link_index(u, v)
+            counts[index] = counts.get(index, 0) + 1
+        held = self._held.get(holder, set())
+        for index in held - counts.keys():
+            if self._holder[index] == holder:
+                self._holder[index] = -1
+                self._reserved_count -= 1
+            self._refcount[index] = 0
+            self._release[index] = -1
+        for index in counts.keys() - held:
+            owner = self._holder[index]
+            if owner >= 0 and owner != holder:
+                raise ReservationError(
+                    f"link {self.mesh.link_of_index(index)} is held by {owner}, "
+                    f"cannot be taken by {holder}"
+                )
+            self._holder[index] = holder
+            self._reserved_count += 1
+        for index, count in counts.items():
+            self._refcount[index] = count
+        if counts:
+            self._held[holder] = set(counts)
+        else:
+            self._held.pop(holder, None)
+
+    def release(self, holder: int) -> None:
+        """Drop every link ``holder`` has reserved."""
+        for index in self._held.pop(holder, ()):
+            if self._holder[index] == holder:
+                self._holder[index] = -1
+                self._refcount[index] = 0
+                self._release[index] = -1
+                self._reserved_count -= 1
+
+    def hold_until(self, holder: int, release_step: int) -> None:
+        """Keep ``holder``'s current links reserved until ``release_step``."""
+        heapq.heappush(self._expiries, (release_step, holder))
+        for index in self._held.get(holder, ()):
+            self._release[index] = release_step
+
+    def release_expired(self, step: int) -> int:
+        """Release every timed hold due at ``step``; returns how many."""
+        if not self._expiries or self._expiries[0][0] > step:
+            return 0
+        import numpy as np
+
+        # One vectorized sweep over the release column finds every due link.
+        due = np.flatnonzero((self._release >= 0) & (self._release <= step))
+        if due.size:
+            for index in due.tolist():
+                if self._holder[index] >= 0:
+                    self._holder[index] = -1
+                    self._reserved_count -= 1
+                self._refcount[index] = 0
+            self._release[due] = -1
+        released = 0
+        while self._expiries and self._expiries[0][0] <= step:
+            _, holder = heapq.heappop(self._expiries)
+            self._held.pop(holder, None)
+            released += 1
+        return released
+
+    @property
+    def reserved_links(self) -> int:
+        """Number of links currently reserved (setup + transfer)."""
+        return self._reserved_count
+
+    @property
+    def active_holders(self) -> int:
+        """Number of holders currently reserving at least one link."""
+        return len(self._held)
+
+    def reserved_link_set(self) -> Set[Link]:
+        """The canonical links currently reserved (parity/inspection hook)."""
+        link_of_index = self.mesh.link_of_index
+        return {
+            link_of_index(index)
+            for index, owner in enumerate(self._holder)
+            if owner >= 0
+        }
+
+
+#: Either live-ledger implementation (they share one API).
+CircuitLedger = Union[LiveCircuitLedger, ArrayCircuitLedger]
+
+
+def make_live_ledger(
+    mesh: "Mesh", backend: Optional[str] = None
+) -> CircuitLedger:
+    """Build the live reservation ledger for the selected backend."""
+    if resolve_backend(backend) == VECTOR:
+        return ArrayCircuitLedger(mesh)
+    return LiveCircuitLedger()

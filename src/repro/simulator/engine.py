@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set, Tuple, Union
 
+from repro.backend import resolve_backend
 from repro.core.block_construction import extract_blocks, labeling_round
 from repro.core.boundary import BoundaryProtocol
 from repro.core.identification import IdentificationProtocol
@@ -42,7 +43,7 @@ from repro.core.state import InformationState
 from repro.faults.schedule import DynamicFaultSchedule, FaultEventKind
 from repro.mesh.regions import Region
 from repro.mesh.topology import Mesh
-from repro.pcs.circuit import Circuit, LiveCircuitLedger
+from repro.pcs.circuit import Circuit, CircuitLedger, make_live_ledger
 from repro.pcs.transfer import TransferModel
 from repro.routing import AlgorithmRouter, Router, SetupProbe, resolve_router
 from repro.simulator.stats import ConvergenceRecord, MessageRecord, SimulationStats
@@ -100,6 +101,14 @@ class SimulationConfig:
     #: (the benchmark baseline).
     batch_by_node: bool = True
 
+    #: Hot-loop implementation for the labeling rounds and the circuit
+    #: ledger: ``"vector"`` (numpy stencil gathers + flat reservation
+    #: columns), ``"scalar"`` (the pure-Python reference) or ``None`` to
+    #: resolve via the ``REPRO_BACKEND`` environment variable (vector by
+    #: default).  Both produce byte-identical statuses, block extents and
+    #: reserved-link sets — the parity tests hold the two to that.
+    backend: Optional[str] = None
+
     def __post_init__(self) -> None:
         if self.lam < 1:
             raise ValueError("λ (lam) must be at least 1")
@@ -109,6 +118,8 @@ class SimulationConfig:
             raise ValueError("max_probe_lifetime must be at least 1 (or None)")
         if self.router is not None:
             resolve_router(self.router)  # unknown names fail fast, with the menu
+        if self.backend is not None:
+            resolve_backend(self.backend)  # unknown backends fail fast too
 
 
 @dataclass
@@ -169,11 +180,13 @@ class Simulator:
             if self.config.router is not None
             else AlgorithmRouter(self.config.policy)
         )
+        #: Resolved hot-loop backend (labeling rounds + circuit ledger).
+        self._backend = resolve_backend(self.config.backend)
         #: Live link reservations of the PCS circuit phase (``None`` keeps
         #: the contention-free behavior byte-identical to the pre-circuit
         #: engine).
-        self.circuits: Optional[LiveCircuitLedger] = (
-            LiveCircuitLedger() if self.config.contention else None
+        self.circuits: Optional[CircuitLedger] = (
+            make_live_ledger(mesh, self._backend) if self.config.contention else None
         )
         self._next_holder = 0
 
@@ -224,7 +237,7 @@ class Simulator:
     # ------------------------------------------------------------------ #
     def _preconverge(self) -> None:
         """Stabilize labeling and distribute information for initial faults."""
-        while labeling_round(self.info.labeling):
+        while labeling_round(self.info.labeling, backend=self._backend):
             pass
         self._labeling_stable = True
         self._start_new_identifications()
@@ -321,7 +334,7 @@ class Simulator:
                 # nothing moved; the skipped round is exactly that no-op.
                 changed = False
             else:
-                changed = labeling_round(self.info.labeling)
+                changed = labeling_round(self.info.labeling, backend=self._backend)
                 if not changed:
                     self._labeling_stable = True
             self.stats.total_rounds += 1

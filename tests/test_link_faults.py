@@ -6,6 +6,7 @@ from repro.core.block_construction import build_blocks
 from repro.core.distribution import distribute_information
 from repro.core.routing import route_offline
 from repro.faults.links import LinkFault, LinkFaultSet, endpoints_as_node_faults
+from repro.mesh.coords import canonical_link
 from repro.mesh.topology import Mesh
 
 
@@ -18,6 +19,44 @@ class TestLinkFault:
 
     def test_canonical_is_order_independent(self):
         assert LinkFault((1, 0), (0, 0)).canonical == LinkFault((0, 0), (1, 0)).canonical
+
+    def test_endpoints_normalized_through_canonical_link(self):
+        """Construction routes through the shared mesh.coords.canonical_link."""
+        fault = LinkFault((1, 0), (0, 0))
+        assert (fault.u, fault.v) == canonical_link((1, 0), (0, 0))
+        assert fault == LinkFault((0, 0), (1, 0))
+        assert len({fault, LinkFault((0, 0), (1, 0))}) == 1
+
+
+class TestLinkIndexRoundTrip:
+    @pytest.mark.parametrize("shape", [(6, 6), (4, 5, 3), (3, 3, 3, 3)])
+    def test_every_link_round_trips(self, shape):
+        """canonical_link ↔ link_index ↔ link_of_index agree for every link."""
+        mesh = Mesh(shape)
+        seen = set()
+        for node in mesh.nodes():
+            for neighbor in mesh.neighbors(node):
+                index = mesh.link_index(node, neighbor)
+                assert index == mesh.link_index(neighbor, node)
+                assert 0 <= index < mesh.link_slots
+                assert mesh.link_of_index(index) == canonical_link(node, neighbor)
+                assert LinkFault(node, neighbor).index_in(mesh) == index
+                seen.add(index)
+        assert len(seen) == mesh.n_links
+
+    def test_non_neighbors_rejected(self):
+        mesh = Mesh.cube(5, 2)
+        with pytest.raises(ValueError):
+            mesh.link_index((0, 0), (1, 1))
+        with pytest.raises(ValueError):
+            mesh.link_index((0, 0), (0, 0))
+
+    def test_fault_set_indices_round_trip(self):
+        mesh = Mesh.cube(6, 2)
+        faults = LinkFaultSet.of([((2, 2), (2, 3)), ((4, 1), (3, 1))])
+        indices = faults.indices(mesh)
+        assert len(indices) == 2
+        assert {mesh.link_of_index(i) for i in indices} == set(faults.links)
 
 
 class TestLinkFaultSet:

@@ -1,0 +1,380 @@
+"""Scalar-vs-vectorized parity: labeling engine, ledger, flat index tables.
+
+The numpy-vectorized labeling engine and the array-backed reservation
+ledger must be *byte-identical* to their pure-Python reference
+implementations — same statuses, same mutation counters, same block
+extents, same reserved-link sets, same simulation statistics.  These tests
+drive both implementations through randomized fault churn, dynamic
+schedule replays, full contended simulations for every registered router
+policy, and randomized reserve/release/ref-count/expiry sequences.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import SCALAR, VECTOR
+from repro.core.block_construction import (
+    LabelingState,
+    extract_blocks,
+    labeling_round,
+    run_block_construction,
+)
+from repro.faults.injection import uniform_random_faults
+from repro.faults.schedule import DynamicFaultSchedule, FaultEvent, FaultEventKind
+from repro.mesh.topology import Mesh
+from repro.pcs.circuit import ArrayCircuitLedger, Circuit, LiveCircuitLedger
+from repro.routing import available_routers
+from repro.simulator.engine import SimulationConfig, Simulator
+from repro.simulator.traffic import TrafficMessage
+from repro.workloads.traffic import transpose_pairs
+
+BACKENDS = (SCALAR, VECTOR)
+
+
+def _assert_states_identical(scalar: LabelingState, vector: LabelingState) -> None:
+    assert np.array_equal(scalar.codes, vector.codes)
+    assert scalar._non_enabled == vector._non_enabled
+    assert scalar.mutations == vector.mutations
+    scalar_blocks = [(b.extent, tuple(b.faulty_nodes)) for b in extract_blocks(scalar)]
+    vector_blocks = [(b.extent, tuple(b.faulty_nodes)) for b in extract_blocks(vector)]
+    assert scalar_blocks == vector_blocks
+
+
+# --------------------------------------------------------------------- #
+# labeling rounds
+# --------------------------------------------------------------------- #
+class TestLabelingParity:
+    @pytest.mark.parametrize("shape", [(12, 12), (8, 8, 8), (6, 6, 4, 4)])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_randomized_fault_churn(self, shape, seed):
+        """Fault → converge → recover → converge → re-fault → converge."""
+        mesh = Mesh(shape)
+        rng = np.random.default_rng(seed)
+        count = max(4, mesh.size // 60)
+        faults = uniform_random_faults(mesh, count, rng, margin=1)
+
+        states = {b: LabelingState.from_faults(mesh, faults) for b in BACKENDS}
+        results = {
+            b: run_block_construction(states[b], backend=b) for b in BACKENDS
+        }
+        assert results[SCALAR].rounds == results[VECTOR].rounds
+        assert results[SCALAR].status_changes == results[VECTOR].status_changes
+        _assert_states_identical(states[SCALAR], states[VECTOR])
+
+        # Recover a sample of the faults, one convergence per recovery.
+        recovered = [faults[i] for i in rng.choice(len(faults), len(faults) // 2, replace=False)]
+        for node in recovered:
+            for backend in BACKENDS:
+                states[backend].recover(node)
+                run_block_construction(states[backend], backend=backend)
+            _assert_states_identical(states[SCALAR], states[VECTOR])
+
+        # New faults elsewhere (churn), round-by-round lockstep this time.
+        new_faults = uniform_random_faults(
+            mesh, count // 2 + 1, rng, margin=1, exclude=faults
+        )
+        for node in new_faults:
+            for backend in BACKENDS:
+                states[backend].make_faulty(node)
+            while True:
+                changed = {
+                    b: labeling_round(states[b], backend=b) for b in BACKENDS
+                }
+                assert changed[SCALAR] == changed[VECTOR]
+                _assert_states_identical(states[SCALAR], states[VECTOR])
+                if changed[SCALAR] == 0:
+                    break
+
+    def test_surface_touching_block(self):
+        """Faults near the surface exercise the off-mesh sentinel handling."""
+        mesh = Mesh.cube(8, 2)
+        faults = [(1, 1), (1, 2), (2, 1), (6, 6), (6, 5)]
+        states = {b: LabelingState.from_faults(mesh, faults) for b in BACKENDS}
+        for backend in BACKENDS:
+            run_block_construction(states[backend], backend=backend)
+        _assert_states_identical(states[SCALAR], states[VECTOR])
+
+    def test_empty_state_round_is_noop(self):
+        mesh = Mesh.cube(6, 2)
+        for backend in BACKENDS:
+            state = LabelingState(mesh=mesh)
+            assert labeling_round(state, backend=backend) == 0
+            assert state.mutations == 0
+
+
+class TestScheduleReplayParity:
+    def _schedule(self):
+        return DynamicFaultSchedule(
+            initial_faults={(4, 4), (4, 5)},
+            events=[
+                FaultEvent(3, (5, 4)),
+                FaultEvent(6, (5, 5)),
+                FaultEvent(10, (4, 4), FaultEventKind.RECOVERY),
+                FaultEvent(14, (2, 6)),
+                FaultEvent(18, (5, 4), FaultEventKind.RECOVERY),
+            ],
+        )
+
+    @pytest.mark.parametrize("contention", [False, True])
+    def test_dynamic_fault_replay(self, contention):
+        """Full simulator runs under both backends are byte-identical."""
+        mesh = Mesh.cube(10, 2)
+        traffic = [
+            TrafficMessage(source=(0, 0), destination=(9, 9), start_time=0, flits=16),
+            TrafficMessage(source=(9, 0), destination=(0, 9), start_time=4, flits=16),
+            TrafficMessage(source=(0, 9), destination=(9, 0), start_time=8, flits=16),
+            TrafficMessage(source=(2, 0), destination=(7, 9), start_time=12, flits=16),
+        ]
+        outputs = {}
+        for backend in BACKENDS:
+            sim = Simulator(
+                mesh,
+                schedule=self._schedule(),
+                traffic=list(traffic),
+                config=SimulationConfig(contention=contention, backend=backend),
+            )
+            result = sim.run()
+            outputs[backend] = (
+                result.stats.summary(),
+                [
+                    (m.message.source, m.message.destination,
+                     m.result.outcome, tuple(m.result.path))
+                    for m in result.stats.messages
+                ],
+                result.information.labeling.non_enabled_nodes(),
+            )
+            if contention:
+                assert sim.circuits.reserved_links == 0
+        assert outputs[SCALAR] == outputs[VECTOR]
+
+
+class TestPolicyContentionParity:
+    @pytest.mark.parametrize("policy", sorted(available_routers()))
+    def test_policy_parity_under_contention(self, policy):
+        """Acceptance gate: every registry policy, contention on, both backends."""
+        mesh = Mesh.cube(8, 2)
+        rng = np.random.default_rng(11)
+        faults = uniform_random_faults(mesh, 4, rng, margin=1)
+        fault_set = set(faults)
+        pairs = [
+            (s, d)
+            for s, d in transpose_pairs(mesh)
+            if s not in fault_set and d not in fault_set
+        ][:24]
+        traffic = [
+            TrafficMessage(source=s, destination=d, start_time=i // 4, flits=8)
+            for i, (s, d) in enumerate(pairs)
+        ]
+        outputs = {}
+        for backend in BACKENDS:
+            sim = Simulator(
+                mesh,
+                schedule=DynamicFaultSchedule.static(faults),
+                traffic=list(traffic),
+                config=SimulationConfig(
+                    router=policy, contention=True, backend=backend
+                ),
+            )
+            stats = sim.run().stats
+            outputs[backend] = (
+                stats.summary(),
+                [
+                    (m.message.source, m.message.destination,
+                     m.result.outcome, tuple(m.result.path))
+                    for m in stats.messages
+                ],
+            )
+        assert outputs[SCALAR] == outputs[VECTOR]
+
+
+# --------------------------------------------------------------------- #
+# circuit ledger
+# --------------------------------------------------------------------- #
+class TestLedgerParity:
+    def _assert_ledgers_identical(self, scalar, vector):
+        assert scalar.reserved_links == vector.reserved_links
+        assert scalar.active_holders == vector.active_holders
+        assert scalar.reserved_link_set() == vector.reserved_link_set()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_walks(self, seed):
+        """Random probe walks: reserve/backtrack/sync/ref-count/expiry."""
+        mesh = Mesh.cube(6, 2)
+        rng = np.random.default_rng(seed)
+        scalar = LiveCircuitLedger()
+        vector = ArrayCircuitLedger(mesh)
+
+        stacks = {}  # holder -> current stack
+        next_holder = 0
+        step = 0
+        for _ in range(300):
+            op = rng.integers(0, 10)
+            if op < 2 or not stacks:  # start a new probe
+                start = tuple(int(c) for c in rng.integers(0, 6, size=2))
+                stacks[next_holder] = [start]
+                next_holder += 1
+            elif op < 6:  # advance one unblocked hop
+                holder = int(rng.choice(list(stacks)))
+                stack = stacks[holder]
+                moves = [
+                    n
+                    for n in mesh.neighbors(stack[-1])
+                    if not scalar.is_blocked(holder, stack[-1], n)
+                ]
+                if moves:
+                    nxt = moves[int(rng.integers(0, len(moves)))]
+                    assert vector.is_blocked(holder, stack[-1], nxt) is False
+                    scalar.reserve_link(holder, stack[-1], nxt)
+                    vector.reserve_link(holder, stack[-1], nxt)
+                    stack.append(nxt)
+            elif op < 8:  # backtrack one hop
+                holder = int(rng.choice(list(stacks)))
+                stack = stacks[holder]
+                if len(stack) > 1:
+                    tail = stack.pop()
+                    scalar.release_link(holder, tail, stack[-1])
+                    vector.release_link(holder, tail, stack[-1])
+            elif op < 9:  # deliver: collapse to circuit, timed hold
+                holder = int(rng.choice(list(stacks)))
+                stack = stacks.pop(holder)
+                circuit = Circuit.from_stack(stack)
+                scalar.sync(holder, circuit.path)
+                vector.sync(holder, circuit.path)
+                hold = step + int(rng.integers(1, 6))
+                scalar.hold_until(holder, hold)
+                vector.hold_until(holder, hold)
+            else:  # abort: release everything
+                holder = int(rng.choice(list(stacks)))
+                stacks.pop(holder)
+                scalar.release(holder)
+                vector.release(holder)
+            step += 1
+            assert scalar.release_expired(step) == vector.release_expired(step)
+            self._assert_ledgers_identical(scalar, vector)
+
+        # Drain every remaining hold and probe identically.
+        for holder in list(stacks):
+            scalar.release(holder)
+            vector.release(holder)
+        assert scalar.release_expired(step + 100) == vector.release_expired(step + 100)
+        self._assert_ledgers_identical(scalar, vector)
+        assert scalar.reserved_links == 0
+
+    def test_foreign_link_raises_on_both(self):
+        mesh = Mesh.cube(4, 2)
+        scalar = LiveCircuitLedger()
+        vector = ArrayCircuitLedger(mesh)
+        for ledger in (scalar, vector):
+            ledger.sync(1, [(0, 0), (1, 0)])
+            with pytest.raises(Exception):
+                ledger.reserve_link(2, (0, 0), (1, 0))
+
+    def test_double_crossing_refcount(self):
+        mesh = Mesh.cube(4, 2)
+        vector = ArrayCircuitLedger(mesh)
+        vector.reserve_link(1, (0, 0), (1, 0))
+        vector.reserve_link(1, (1, 0), (0, 0))
+        vector.release_link(1, (1, 0), (0, 0))
+        assert vector.is_blocked(2, (0, 0), (1, 0))
+        vector.release_link(1, (0, 0), (1, 0))
+        assert not vector.is_blocked(2, (0, 0), (1, 0))
+        assert vector.reserved_links == 0
+        assert vector.active_holders == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_circuit_table_mesh_mode_parity(self, seed):
+        """Dict-keyed and occupancy-column CircuitTable behave identically."""
+        from repro.pcs.circuit import CircuitTable, ReservationError
+
+        mesh = Mesh.cube(6, 2)
+        rng = np.random.default_rng(seed)
+        plain = CircuitTable()
+        arrayed = CircuitTable(mesh=mesh)
+        reserved = []
+        for _ in range(120):
+            op = rng.integers(0, 3)
+            if op < 2:  # try to reserve a random-walk circuit
+                node = tuple(int(c) for c in rng.integers(0, 6, size=2))
+                path = [node]
+                for _ in range(int(rng.integers(1, 6))):
+                    moves = [n for n in mesh.neighbors(path[-1]) if n not in path]
+                    if not moves:
+                        break
+                    path.append(moves[int(rng.integers(0, len(moves)))])
+                if len(path) < 2:
+                    continue
+                circuit = Circuit(tuple(path))
+                conflicts = plain.conflicts(circuit)
+                assert arrayed.conflicts(circuit) == conflicts
+                if conflicts:
+                    with pytest.raises(ReservationError):
+                        plain.reserve(circuit)
+                    with pytest.raises(ReservationError):
+                        arrayed.reserve(circuit)
+                else:
+                    plain.reserve(circuit)
+                    arrayed.reserve(circuit)
+                    reserved.append(circuit)
+            elif reserved:  # release one (and exercise the unknown no-op)
+                circuit = reserved.pop(int(rng.integers(0, len(reserved))))
+                plain.release(circuit)
+                arrayed.release(circuit)
+                plain.release(circuit)
+                arrayed.release(circuit)
+            assert plain.reserved_links == arrayed.reserved_links
+            assert plain.circuits == arrayed.circuits
+        for circuit in reserved:
+            plain.release(circuit)
+            arrayed.release(circuit)
+        assert plain.reserved_links == arrayed.reserved_links == 0
+
+    def test_link_index_rejects_out_of_mesh_endpoints(self):
+        """Adjacent but off-mesh coordinate pairs must not map to a slot."""
+        mesh = Mesh.cube(6, 2)
+        for u, v in [((-1, 0), (0, 0)), ((5, 0), (6, 0)), ((0,), (1,))]:
+            with pytest.raises(ValueError):
+                mesh.link_index(u, v)
+
+    def test_zero_length_circuit_hold_counts(self):
+        """A delivered src==dst circuit holds no links but is still counted."""
+        mesh = Mesh.cube(4, 2)
+        scalar = LiveCircuitLedger()
+        vector = ArrayCircuitLedger(mesh)
+        for ledger in (scalar, vector):
+            ledger.sync(7, [(1, 1)])
+            ledger.hold_until(7, 3)
+            assert ledger.release_expired(2) == 0
+            assert ledger.release_expired(3) == 1
+
+
+# --------------------------------------------------------------------- #
+# flat index tables
+# --------------------------------------------------------------------- #
+class TestNeighborTable:
+    @pytest.mark.parametrize("shape", [(5, 7), (4, 4, 4), (3, 4, 5, 2)])
+    def test_matches_scalar_neighbors(self, shape):
+        mesh = Mesh(shape)
+        table = mesh.neighbor_table
+        assert table.shape == (mesh.size, 2 * mesh.n_dims)
+        assert table.dtype == np.int32
+        for index in range(mesh.size):
+            node = mesh.coord_of(index)
+            for column, direction in enumerate(mesh.directions):
+                neighbor = mesh.neighbor(node, direction)
+                expected = -1 if neighbor is None else mesh.index_of(neighbor)
+                assert table[index, column] == expected
+
+    def test_surface_order_pairs_dimensions(self):
+        """Columns d and d+n of the table belong to dimension d."""
+        mesh = Mesh.cube(4, 3)
+        for d in range(mesh.n_dims):
+            assert mesh.directions[d].dim == d
+            assert mesh.directions[d].sign == -1
+            assert mesh.directions[d + mesh.n_dims].dim == d
+            assert mesh.directions[d + mesh.n_dims].sign == +1
+
+    def test_table_is_memoized_and_readonly(self):
+        mesh = Mesh.cube(4, 2)
+        assert mesh.neighbor_table is mesh.neighbor_table
+        with pytest.raises(ValueError):
+            mesh.neighbor_table[0, 0] = 99
