@@ -1,0 +1,164 @@
+"""Decision-path cost in isolation: scalar loop vs vectorized batch engine.
+
+The contended step loop's dominant cost is the per-probe Algorithm-3
+direction classification (``classify_directions`` via
+``decision_candidates``).  This benchmark measures exactly that path,
+detached from the simulator: a static fault configuration is built and its
+information fully distributed, a population of in-flight probe headers is
+grown by stepping real probes to staggered depths (so the headers carry
+realistic stacks, used-direction sets and incoming directions), and then
+one *decision round* — every probe classifying its candidate directions
+once — is timed through the scalar reference loop and through the
+vectorized batch engine (``DecisionCache.batch_candidates``).
+
+A parity gate asserts the two classifications are byte-identical (same
+classes, same directions, same order, same ``None`` rule-1 results) before
+anything is timed.  Run with ``--benchmark-json`` to record a
+``BENCH_decision.json`` trajectory point (see benchmarks/baselines/ and
+benchmarks/check_regression.py).
+"""
+
+from functools import lru_cache
+
+import numpy as np
+from _common import print_table
+
+from repro.backend import SCALAR, VECTOR
+from repro.core.block_construction import build_blocks
+from repro.core.distribution import distribute_information
+from repro.core.routing import DecisionCache, RoutingPolicy, RoutingProbe, decision_candidates
+from repro.faults.injection import uniform_random_faults
+from repro.mesh.topology import Mesh
+from repro.workloads.traffic import random_pairs
+
+
+def _probe_population(shape, n_faults, n_probes, seed):
+    """Static distributed information plus a population of in-flight headers.
+
+    Probes are stepped to staggered depths (0..diameter hops) against the
+    stabilized information, so the resulting headers exercise every decision
+    situation: fresh at the source, mid-walk with an incoming direction,
+    used-direction sets at revisited nodes, and backtracking walks around
+    blocks.
+    """
+    mesh = Mesh(shape)
+    rng = np.random.default_rng(seed)
+    faults = uniform_random_faults(mesh, n_faults, rng, margin=1)
+    labeling = build_blocks(mesh, faults).state
+    info = distribute_information(mesh, labeling)
+    policy = RoutingPolicy.limited_global()
+    pairs = random_pairs(
+        mesh, n_probes, rng,
+        min_distance=max(2, mesh.diameter // 2),
+        exclude=list(labeling.block_nodes),
+    )
+    cache = DecisionCache(info, policy, backend=SCALAR)
+    headers = []
+    for i, (src, dst) in enumerate(pairs):
+        probe = RoutingProbe(mesh, src, dst, policy=policy)
+        for _ in range(i % (mesh.diameter + 1)):
+            if probe.done:
+                break
+            probe.step(info, decision_cache=cache)
+        if not probe.done:
+            headers.append(probe.header)
+    return info, policy, headers
+
+
+# Lazily built (and then shared) so --collect-only costs nothing.
+@lru_cache(maxsize=None)
+def _population(kind):
+    if kind == "2d":
+        return _probe_population((16, 16), n_faults=10, n_probes=256, seed=11)
+    return _probe_population((10, 10, 10), n_faults=14, n_probes=256, seed=13)
+
+
+def _decision_round(info, policy, headers, backend):
+    """Classify every header's candidates once through ``backend``."""
+    cache = DecisionCache(info, policy, backend=backend)
+    return cache.batch_candidates(headers)
+
+
+def _scalar_reference(info, policy, headers):
+    """The per-header scalar loop the vector engine must match exactly."""
+    cache = DecisionCache(info, policy, backend=SCALAR)
+    return [
+        decision_candidates(info, h, policy=policy, cache=cache) for h in headers
+    ]
+
+
+def test_decision_parity_2d():
+    """Parity gate for the timed 16x16 comparison below."""
+    info, policy, headers = _population("2d")
+    assert _decision_round(info, policy, headers, VECTOR) == _scalar_reference(
+        info, policy, headers
+    )
+
+
+def test_decision_parity_3d():
+    """Parity gate for the timed 10^3 comparison below."""
+    info, policy, headers = _population("3d")
+    assert _decision_round(info, policy, headers, VECTOR) == _scalar_reference(
+        info, policy, headers
+    )
+
+
+def test_bench_decision_batch_16x16_vector(benchmark):
+    info, policy, headers = _population("2d")
+    cache = DecisionCache(info, policy, backend=VECTOR)
+    out = benchmark(lambda: cache.batch_candidates(headers))
+    print(f"\n16x16 vector batch: {len(out)} probes classified per round")
+
+
+def test_bench_decision_batch_16x16_scalar(benchmark):
+    info, policy, headers = _population("2d")
+    cache = DecisionCache(info, policy, backend=SCALAR)
+    out = benchmark(lambda: cache.batch_candidates(headers))
+    print(f"\n16x16 scalar loop:  {len(out)} probes classified per round")
+
+
+def test_bench_decision_batch_10x10x10_vector(benchmark):
+    info, policy, headers = _population("3d")
+    cache = DecisionCache(info, policy, backend=VECTOR)
+    out = benchmark(lambda: cache.batch_candidates(headers))
+    print(f"\n10^3 vector batch: {len(out)} probes classified per round")
+
+
+def test_bench_decision_batch_10x10x10_scalar(benchmark):
+    info, policy, headers = _population("3d")
+    cache = DecisionCache(info, policy, backend=SCALAR)
+    out = benchmark(lambda: cache.batch_candidates(headers))
+    print(f"\n10^3 scalar loop:  {len(out)} probes classified per round")
+
+
+def test_speedup_table():
+    """Print the headline scalar/vector decision-round ratio (informational)."""
+    import time
+
+    rows = []
+    for label, (info, policy, headers) in (
+        ("16x16", _population("2d")),
+        ("10x10x10", _population("3d")),
+    ):
+        timings = {}
+        for backend in (SCALAR, VECTOR):
+            cache = DecisionCache(info, policy, backend=backend)
+            cache.batch_candidates(headers)  # warm tables
+            start = time.perf_counter()
+            for _ in range(10):
+                cache.batch_candidates(headers)
+            timings[backend] = (time.perf_counter() - start) / 10
+        rows.append(
+            (
+                label,
+                len(headers),
+                f"{timings[SCALAR] * 1e3:.2f}",
+                f"{timings[VECTOR] * 1e3:.2f}",
+                f"{timings[SCALAR] / timings[VECTOR]:.1f}x",
+            )
+        )
+    print_table(
+        "Decision round: scalar loop vs vectorized batch (warm, mean of 10)",
+        ["mesh", "probes", "scalar ms", "vector ms", "speedup"],
+        rows,
+    )

@@ -1,6 +1,6 @@
-"""Open-loop saturation curves + the per-node batched-stepping speedup.
+"""Open-loop saturation curves + the contended step-loop speedups.
 
-Two things are measured here:
+Three things are measured here:
 
 * **Saturation curve** — the accepted-throughput / latency curve of the
   limited-global policy under open-loop transpose traffic on an 8x8 mesh
@@ -8,13 +8,21 @@ Two things are measured here:
 * **Batched stepping** — the simulator's per-node decision batching
   (``SimulationConfig(batch_by_node=True)``, the default) against the
   historic per-probe loop, on a high-load contended steady-state workload
-  where many probes are in flight at once.  The two paths are asserted to
-  produce identical statistics before timing them.
+  where many probes are in flight at once;
+* **Vectorized decision engine** — the same contended workload with probe
+  decisions classified by the batched numpy engine
+  (``backend="vector"``, the default) against the scalar reference
+  classification (``backend="scalar"``, the parity oracle).  The
+  acceptance bar is vector >= 2x on this contended timed section.
+
+Every timed comparison is parity-gated first: the compared paths are
+asserted to produce byte-identical statistics and per-message paths.
 """
 
 import numpy as np
 from _common import print_table
 
+from repro.backend import SCALAR, VECTOR
 from repro.faults.injection import uniform_random_faults
 from repro.faults.schedule import DynamicFaultSchedule
 from repro.mesh.topology import Mesh
@@ -23,7 +31,7 @@ from repro.throughput import MeasurementWindows, run_throughput_point
 from repro.workloads.traffic import to_traffic, transpose_pairs
 
 
-def _high_load_run(batch_by_node: bool):
+def _high_load_run(batch_by_node: bool, backend=None):
     """One contended steady-state run: full transpose batch, static faults."""
     mesh = Mesh.cube(12, 2)
     rng = np.random.default_rng(7)
@@ -41,15 +49,38 @@ def _high_load_run(batch_by_node: bool):
         schedule=schedule,
         traffic=traffic,
         config=SimulationConfig(
-            router="limited-global", contention=True, batch_by_node=batch_by_node
+            router="limited-global",
+            contention=True,
+            batch_by_node=batch_by_node,
+            backend=backend,
         ),
     )
     return sim.run().stats
 
 
+def _fingerprint(stats):
+    """Summary plus per-message outcome/path — the byte-identity the parity
+    gates hold every compared configuration to."""
+    return (
+        stats.summary(),
+        [
+            (m.message.source, m.message.destination, m.result.outcome,
+             tuple(m.result.path))
+            for m in stats.messages
+        ],
+    )
+
+
 def test_batched_matches_per_probe_loop():
-    """Parity gate for the timed comparison below."""
-    assert _high_load_run(True).summary() == _high_load_run(False).summary()
+    """Parity gate for the batched-stepping comparison below."""
+    assert _fingerprint(_high_load_run(True)) == _fingerprint(_high_load_run(False))
+
+
+def test_decision_parity_vector_vs_scalar():
+    """Parity gate for the decision-engine comparison below."""
+    assert _fingerprint(_high_load_run(True, VECTOR)) == _fingerprint(
+        _high_load_run(True, SCALAR)
+    )
 
 
 def test_bench_step_batched(benchmark):
@@ -65,6 +96,49 @@ def test_bench_step_per_probe(benchmark):
     print(
         f"\nper-probe loop:   {stats.steps} steps, "
         f"{len(stats.messages)} messages, delivery {stats.delivery_rate:.2f}"
+    )
+
+
+def test_bench_step_decision_vector(benchmark):
+    """Contended step loop, probe decisions batched through the numpy engine."""
+    stats = benchmark(lambda: _high_load_run(True, VECTOR))
+    print(
+        f"\nvector decisions: {stats.steps} steps, "
+        f"{len(stats.messages)} messages, delivery {stats.delivery_rate:.2f}"
+    )
+
+
+def test_bench_step_decision_scalar(benchmark):
+    """Contended step loop, scalar reference classification per probe."""
+    stats = benchmark(lambda: _high_load_run(True, SCALAR))
+    print(
+        f"\nscalar decisions: {stats.steps} steps, "
+        f"{len(stats.messages)} messages, delivery {stats.delivery_rate:.2f}"
+    )
+
+
+def test_decision_speedup_table():
+    """Print the headline decision-engine wall-clock ratio (informational)."""
+    import time
+
+    timings = {}
+    for backend in (SCALAR, VECTOR):
+        _high_load_run(True, backend)  # warm caches
+        start = time.perf_counter()
+        stats = _high_load_run(True, backend)
+        timings[backend] = time.perf_counter() - start
+    print_table(
+        "Contended step loop: scalar vs vectorized decision engine (one run, warm)",
+        ["steps", "messages", "scalar ms", "vector ms", "speedup"],
+        [
+            (
+                stats.steps,
+                len(stats.messages),
+                f"{timings[SCALAR] * 1e3:.1f}",
+                f"{timings[VECTOR] * 1e3:.1f}",
+                f"{timings[SCALAR] / timings[VECTOR]:.1f}x",
+            )
+        ],
     )
 
 

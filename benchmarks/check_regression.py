@@ -1,0 +1,130 @@
+"""CI perf-regression gate over committed pytest-benchmark baselines.
+
+Compares a freshly produced pytest-benchmark JSON (``--current``, e.g. the
+``--benchmark-json`` output of a CI bench run) against a committed baseline
+(``--baseline``, see benchmarks/baselines/): for every benchmark present in
+*both* files, the ratio of mean times ``current / baseline`` must stay
+within ``--tolerance`` (default 1.5x, generous enough to absorb shared-CI
+runner noise while still catching the 2x-and-up regressions that matter).
+
+Benchmarks present in only one file are reported but never fail the gate —
+baselines are a trajectory, and new benchmarks land before their baseline
+point does.  An *empty* intersection fails loudly: it means the gate is
+comparing the wrong files, which silently passing would hide.
+
+Exit status: 0 when every compared benchmark is within tolerance, 1 on any
+regression (or empty intersection), 2 on unreadable/invalid input.
+
+Usage (exactly what .github/workflows/ci.yml runs)::
+
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/baselines/BENCH_labeling.json \
+        --current BENCH_labeling_ci.json [--tolerance 1.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def load_means(path: str) -> Dict[str, float]:
+    """Benchmark name -> mean seconds, from a pytest-benchmark JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    try:
+        benchmarks = payload["benchmarks"]
+        means = {b["name"]: float(b["stats"]["mean"]) for b in benchmarks}
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"{path} is not a pytest-benchmark JSON file: {exc}")
+    if not means:
+        raise ValueError(f"{path} contains no benchmarks")
+    return means
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    tolerance: float,
+) -> Tuple[List[Tuple[str, float, float, float]], List[str], List[str]]:
+    """Compare overlapping benchmarks; returns (rows, regressions, uncompared).
+
+    ``rows`` is ``(name, baseline mean, current mean, ratio)`` for every
+    benchmark in both files, ``regressions`` the names whose ratio exceeds
+    ``tolerance``, ``uncompared`` the names present in only one file.
+    """
+    rows: List[Tuple[str, float, float, float]] = []
+    regressions: List[str] = []
+    for name in sorted(baseline.keys() & current.keys()):
+        ratio = current[name] / baseline[name]
+        rows.append((name, baseline[name], current[name], ratio))
+        if ratio > tolerance:
+            regressions.append(name)
+    uncompared = sorted(baseline.keys() ^ current.keys())
+    return rows, regressions, uncompared
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when benchmark mean times regress past a tolerance "
+        "against a committed pytest-benchmark baseline."
+    )
+    parser.add_argument(
+        "--baseline", required=True,
+        help="committed baseline JSON (benchmarks/baselines/BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--current", required=True,
+        help="freshly produced pytest-benchmark JSON to gate",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=1.5,
+        help="max allowed current/baseline mean-time ratio (default 1.5)",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance <= 0:
+        parser.error("--tolerance must be positive")
+
+    try:
+        baseline = load_means(args.baseline)
+        current = load_means(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"check_regression: {exc}", file=sys.stderr)
+        return 2
+
+    rows, regressions, uncompared = compare(baseline, current, args.tolerance)
+
+    width = max((len(name) for name, *_ in rows), default=10)
+    print(f"perf gate: {args.current} vs {args.baseline} (tolerance {args.tolerance}x)")
+    for name, base, cur, ratio in rows:
+        flag = "REGRESSION" if name in regressions else "ok"
+        print(
+            f"  {name:<{width}}  {base * 1e3:>9.2f}ms -> {cur * 1e3:>9.2f}ms  "
+            f"x{ratio:5.2f}  {flag}"
+        )
+    for name in uncompared:
+        side = "baseline only" if name in baseline else "current only"
+        print(f"  {name}: {side}, not compared")
+
+    if not rows:
+        print(
+            "check_regression: no overlapping benchmarks between the two files "
+            "- wrong baseline?",
+            file=sys.stderr,
+        )
+        return 1
+    if regressions:
+        print(
+            f"check_regression: {len(regressions)} benchmark(s) regressed past "
+            f"{args.tolerance}x: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_regression: {len(rows)} benchmark(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

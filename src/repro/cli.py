@@ -26,6 +26,7 @@ number it prints can also be obtained programmatically.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence, Tuple
 
@@ -34,6 +35,8 @@ import numpy as np
 from repro.analysis.convergence import measure_convergence
 from repro.analysis.metrics import compare_policies, contention_row
 from repro.analysis.throughput import throughput_rows
+from repro.backend import ENV_VAR as BACKEND_ENV_VAR
+from repro.backend import available_backends, resolve_backend
 from repro.core.block_construction import build_blocks
 from repro.experiments import MODES, ExperimentSpec, run_batch
 from repro.faults.injection import uniform_random_faults
@@ -95,6 +98,27 @@ def _parse_float_list(text: str) -> Tuple[float, ...]:
         return tuple(float(p) for p in text.split(",") if p.strip())
     except ValueError:
         raise argparse.ArgumentTypeError(f"expected comma-separated numbers, got {text!r}")
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="hot-loop implementation (labeling rounds, circuit ledger, "
+        "decision engine); defaults to $REPRO_BACKEND or 'vector'",
+    )
+
+
+def _apply_backend(args: argparse.Namespace) -> None:
+    """Export a validated ``--backend`` choice for this run.
+
+    Setting the environment variable (rather than threading a parameter
+    through every subsystem) also reaches the worker processes of
+    ``sweep``/``throughput`` fan-out, which inherit the environment.
+    """
+    if getattr(args, "backend", None) is not None:
+        os.environ[BACKEND_ENV_VAR] = resolve_backend(args.backend)
 
 
 def _add_mesh_arguments(parser: argparse.ArgumentParser) -> None:
@@ -187,6 +211,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--flits", type=int, default=64,
         help="message length in flits (circuit hold time under contention)",
     )
+    _add_backend_argument(simulate)
 
     compare = sub.add_parser("compare", help="compare routing policies on random faults")
     _add_mesh_arguments(compare)
@@ -234,6 +259,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=1, help="worker processes (1 = serial)")
     sweep.add_argument("--name", default="sweep", help="spec name (seeds the cell derivation)")
     sweep.add_argument("--out", default=None, help="write JSON here instead of stdout")
+    _add_backend_argument(sweep)
 
     throughput = sub.add_parser(
         "throughput",
@@ -280,6 +306,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="replicate seeds (defaults to --seed)")
     throughput.add_argument("--workers", type=int, default=1, help="worker processes (1 = serial)")
     throughput.add_argument("--out", default=None, help="write curve JSON here")
+    _add_backend_argument(throughput)
 
     return parser
 
@@ -542,6 +569,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     try:
+        _apply_backend(args)
         return _COMMANDS[args.command](args)
     except argparse.ArgumentTypeError as exc:
         parser.error(str(exc))

@@ -1,0 +1,370 @@
+"""Vectorized per-probe decision engine (batched Algorithm 3 classification).
+
+The scalar decision path (:func:`repro.core.routing.classify_directions` /
+:func:`~repro.core.routing.decision_candidates`) classifies one probe's
+outgoing directions with Python loops over the node's neighbors, the known
+detour constraints and the known extent frames.  At high load the simulator
+steps dozens of probes per simulation step, and that per-probe loop is the
+dominant cost of the contended step loop.
+
+:class:`VectorDecisionEngine` re-expresses the whole classification as
+batched numpy array operations over the flat representations the previous
+vectorization rounds produced:
+
+* node statuses — :attr:`LabelingState.codes` (flat ``int8`` code array),
+* adjacency — :attr:`Mesh.neighbor_table` / :attr:`Mesh.neighbor_gather_table`
+  (the ``(size, 2n)`` surface-order neighbor stencil),
+* routing geometry — the per-node detour constraints and extent frames,
+  compiled once per information generation into flat constraint tables.
+
+One :meth:`batch_candidates` call classifies *every* pending probe's
+candidate directions in one pass: per-node masks (usable, disabled-neighbor,
+spare-along-block) are gathered by node index, the destination-dependent
+parts (preferred directions, detour demotion, remaining-offset ordering) are
+computed for the whole batch at once, and a single stable argsort recovers
+exactly the scalar priority order.  The output is **byte-identical** to
+running the scalar :func:`~repro.core.routing.decision_candidates` per
+header — the randomized parity suite holds the two to that.
+
+The engine is keyed on the same validity token as
+:class:`~repro.core.routing.DecisionCache` (labeling mutation counter +
+record mutation counter): the per-node tables are rebuilt only when the
+fault information actually changes, which at steady state means once for a
+whole run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.routing import (
+    DirectionClass,
+    InformationProvider,
+    ProbeHeader,
+    RoutingPolicy,
+    _routing_geometry,
+)
+from repro.faults.status import NodeStatus
+from repro.mesh.directions import Direction
+
+Coord = Tuple[int, ...]
+
+#: A precomputed candidate: the outgoing direction, its next-hop node and
+#: the canonical link slot of the hop (:meth:`Mesh.link_index`), so the
+#: contended scan can probe the reservation ledger's holder column directly.
+CandidatePair = Tuple[Direction, Coord, int]
+
+_DISABLED = NodeStatus.DISABLED.code
+_FAULTY = NodeStatus.FAULTY.code
+
+#: Pseudo-class for directions excluded from the candidate list (off-mesh,
+#: faulty neighbor, or already used); sorts after every real class.
+_SKIP = len(DirectionClass)
+
+_CLASSES: Tuple[DirectionClass, ...] = tuple(DirectionClass)
+
+_PREFERRED = int(DirectionClass.PREFERRED)
+_SPARE_ALONG_BLOCK = int(DirectionClass.SPARE_ALONG_BLOCK)
+_PREFERRED_DETOUR = int(DirectionClass.PREFERRED_DETOUR)
+_SPARE = int(DirectionClass.SPARE)
+_DISABLED_NEIGHBOR = int(DirectionClass.DISABLED_NEIGHBOR)
+_INCOMING = int(DirectionClass.INCOMING)
+
+
+class VectorDecisionEngine:
+    """Batched, numpy-backed Algorithm-3 direction classification.
+
+    Built over one information provider and one policy, exactly like a
+    :class:`~repro.core.routing.DecisionCache` — and normally reached
+    *through* one (``DecisionCache.batch_candidates``), so callers never
+    choose an implementation by hand.  Requires the provider to expose a
+    code-array-backed ``labeling`` and ``nodes_holding_information()``
+    (:class:`~repro.core.state.InformationState` does).
+    """
+
+    def __init__(self, info: InformationProvider, policy: RoutingPolicy) -> None:
+        self.info = info
+        self.policy = policy
+        mesh = info.mesh
+        self.mesh = mesh
+        self._labeling = info.labeling  # type: ignore[attr-defined]
+        self._has_record_mutations = hasattr(info, "record_mutations")
+
+        n = mesh.n_dims
+        self._n = n
+        self._two_n = 2 * n
+        dirs = mesh.directions
+        #: Per surface-order direction: its dimension and sign, as columns.
+        self._dims = np.array([d.dim for d in dirs], dtype=np.int64)
+        self._signs = np.array([d.sign for d in dirs], dtype=np.int64)
+        #: Direction indices re-ordered by ``(dim, sign)`` — the scalar
+        #: tie-break order inside one priority class.
+        self._perm = np.array(
+            sorted(range(2 * n), key=lambda j: (dirs[j].dim, dirs[j].sign)),
+            dtype=np.int64,
+        )
+        self._span = max(mesh.shape)
+        #: Row-major strides, so ``coords @ strides`` is the linear index.
+        strides = [1] * n
+        for d in range(n - 2, -1, -1):
+            strides[d] = strides[d + 1] * mesh.shape[d + 1]
+        self._strides = np.array(strides, dtype=np.int64)
+
+        #: Per node (linear index), per direction: the shared
+        #: ``(direction, neighbor, link slot)`` triple handed out in
+        #: candidate lists (``None`` off-mesh — never selected, the skip
+        #: mask covers it).
+        self._pairs: List[List[Optional[CandidatePair]]] = [
+            [
+                (d, nb, mesh.link_index(node, nb))
+                if (nb := mesh.neighbor(node, d)) is not None
+                else None
+                for d in dirs
+            ]
+            for node in (mesh.coord_of(i) for i in range(mesh.size))
+        ]
+
+        self._token: Optional[Tuple[int, int]] = None
+
+    # ------------------------------------------------------------------ #
+    # per-information-generation tables
+    # ------------------------------------------------------------------ #
+    def _validity_token(self) -> Tuple[int, int]:
+        return (
+            self._labeling.mutations,
+            self.info.record_mutations if self._has_record_mutations else -1,  # type: ignore[attr-defined]
+        )
+
+    def _refresh(self) -> None:
+        """Rebuild the per-node tables for the current information state."""
+        mesh = self.mesh
+        info = self.info
+        policy = self.policy
+        size = mesh.size
+        two_n = self._two_n
+
+        codes = np.asarray(self._labeling.codes)
+        self._node_codes = codes
+        padded = np.empty(size + 1, dtype=codes.dtype)
+        padded[:size] = codes
+        padded[size] = 0  # off-mesh sentinel: an always-enabled neighbor
+        neighbor_codes = padded[mesh.neighbor_gather_table]
+        in_mesh = mesh.neighbor_table >= 0
+        usable = in_mesh & (neighbor_codes != _FAULTY)
+        self._usable = usable
+        if policy.avoid_known_disabled:
+            self._disabled_nb = usable & (neighbor_codes == _DISABLED)
+        else:
+            self._disabled_nb = np.zeros((size, two_n), dtype=bool)
+
+        # Routing geometry, compiled flat.  Only nodes holding records have
+        # any: ``along_block`` marks directions whose neighbor walks along a
+        # known block's frame, and the constraint table packs every node's
+        # (dangerous prism, opposite prism) pairs as contiguous rows.
+        along = np.zeros((size, two_n), dtype=bool)
+        c_start = np.zeros(size, dtype=np.int64)
+        c_count = np.zeros(size, dtype=np.int64)
+        prism_rows: List[List[bool]] = []
+        target_lo: List[Sequence[int]] = []
+        target_hi: List[Sequence[int]] = []
+        if policy.use_block_info or policy.use_boundary_info:
+            dirs = mesh.directions
+            for node in sorted(info.nodes_holding_information()):  # type: ignore[attr-defined]
+                constraints, frames = _routing_geometry(info, node, policy)
+                if not constraints and not frames:
+                    continue
+                idx = mesh.index_of(node)
+                if frames:
+                    for j, d in enumerate(dirs):
+                        nb = d.apply(node)
+                        along[idx, j] = any(
+                            frame.contains(nb) and not extent.contains(nb)
+                            for extent, frame in frames
+                        )
+                if constraints:
+                    c_start[idx] = len(prism_rows)
+                    c_count[idx] = len(constraints)
+                    for prism, target in constraints:
+                        prism_rows.append([prism.contains(d.apply(node)) for d in dirs])
+                        target_lo.append(target.lo)
+                        target_hi.append(target.hi)
+        self._along = along
+        self._c_start = c_start
+        self._c_count = c_count
+        if prism_rows:
+            self._c_prism = np.array(prism_rows, dtype=bool)
+            self._c_target_lo = np.array(target_lo, dtype=np.int64)
+            self._c_target_hi = np.array(target_hi, dtype=np.int64)
+        else:
+            self._c_prism = np.zeros((0, two_n), dtype=bool)
+            self._c_target_lo = np.zeros((0, self._n), dtype=np.int64)
+            self._c_target_hi = np.zeros((0, self._n), dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # the batched classification
+    # ------------------------------------------------------------------ #
+    def _batch(
+        self, headers: Sequence[ProbeHeader]
+    ) -> Tuple[List[int], List[bool], List[List[int]], List[int], np.ndarray]:
+        """Classify and order every header's directions in one pass.
+
+        Returns ``(node_idx, backtrack, sorted_dirs, counts, sorted_cls)``:
+        per header, its node's linear index, whether rule 1 forces an
+        unconditional backtrack (``decision_candidates`` → ``None``), the
+        direction indices in priority order, how many of them are real
+        candidates (the rest are skipped directions sorted to the back) and
+        the matching class codes.
+        """
+        token = self._validity_token()
+        if token != self._token:
+            self._refresh()
+            self._token = token
+
+        n = self._n
+        two_n = self._two_n
+        P = len(headers)
+        # One row per probe: current node, previous stack node (= current
+        # when the probe holds no link yet) and destination, concatenated so
+        # a single array build covers all three.
+        rows = np.array(
+            [
+                h.stack[-1]
+                + (h.stack[-2] if len(h.stack) > 1 else h.stack[-1])
+                + h.destination
+                for h in headers
+            ],
+            dtype=np.int64,
+        )
+        cur = rows[:, :n]
+        prev = rows[:, n : 2 * n]
+        dest = rows[:, 2 * n :]
+        node_idx = cur @ self._strides
+
+        # Preferred directions and the remaining-offset ordering key.
+        delta = dest - cur
+        dd = delta[:, self._dims]
+        pref = (dd * self._signs) > 0
+        remaining = np.abs(dd)
+
+        # Incoming direction, reversed: the link the probe arrived over.
+        diff = cur - prev
+        moved = diff != 0
+        has_in = moved.any(axis=1)
+        in_dim = moved.argmax(axis=1)
+        in_sign = diff[np.arange(P), in_dim]
+        # Reversed direction (dim, -sign): surface index dim when the
+        # reversed sign is negative (sign > 0), dim + n otherwise.
+        rev_col = np.where(in_sign > 0, in_dim, in_dim + n)
+        inc_mask = np.zeros((P, two_n), dtype=bool)
+        entered = np.flatnonzero(has_in)
+        inc_mask[entered, rev_col[entered]] = True
+
+        # Used directions and the rule-1 source check (cheap header reads).
+        used_mask = np.zeros((P, two_n), dtype=bool)
+        at_source: List[bool] = []
+        for g, h in enumerate(headers):
+            stack = h.stack
+            at_source.append(stack[0] == stack[-1])
+            used = h.used.get(stack[-1])
+            if used:
+                for d in used:
+                    used_mask[g, d.dim + (n if d.sign > 0 else 0)] = True
+
+        # Detour demotion: preferred directions entering a dangerous prism
+        # while the destination lies in the opposite prism.  Only probes at
+        # constraint-holding nodes contribute rows.
+        counts = self._c_count[node_idx]
+        detour = np.zeros((P, two_n), dtype=bool)
+        if counts.any():
+            sel = np.flatnonzero(counts)
+            cnts = counts[sel]
+            total = int(cnts.sum())
+            seg_starts = np.cumsum(cnts) - cnts
+            reps = np.repeat(np.arange(sel.size), cnts)
+            rows_c = np.repeat(self._c_start[node_idx[sel]], cnts) + (
+                np.arange(total) - np.repeat(seg_starts, cnts)
+            )
+            d_sel = dest[sel][reps]
+            in_target = np.all(d_sel >= self._c_target_lo[rows_c], axis=1) & np.all(
+                d_sel <= self._c_target_hi[rows_c], axis=1
+            )
+            hit = in_target[:, None] & self._c_prism[rows_c]
+            detour[sel] = np.logical_or.reduceat(hit, seg_starts, axis=0)
+
+        # Class assignment, lowest priority first so later writes override
+        # exactly in the scalar if/elif order (incoming > disabled-neighbor
+        # > preferred(-detour) > spare(-along-block)).
+        cls = np.where(self._along[node_idx], _SPARE_ALONG_BLOCK, _SPARE)
+        cls = np.where(pref & detour, _PREFERRED_DETOUR, cls)
+        cls = np.where(pref & ~detour, _PREFERRED, cls)
+        cls = np.where(self._disabled_nb[node_idx], _DISABLED_NEIGHBOR, cls)
+        cls = np.where(inc_mask, _INCOMING, cls)
+        cls = np.where(self._usable[node_idx] & ~used_mask, cls, _SKIP)
+
+        # Priority order: (class, -remaining within PREFERRED, dim, sign).
+        # The (dim, sign) tie-break comes from pre-permuting the columns and
+        # using a stable sort on the composite scalar key.
+        span = self._span
+        composite = cls * (span + 1) + np.where(cls == _PREFERRED, span - remaining, span)
+        perm = self._perm
+        order = np.argsort(composite[:, perm], axis=1, kind="stable")
+        sorted_dirs = perm[order]
+        valid = (cls != _SKIP).sum(axis=1)
+
+        backtrack = (
+            (self._node_codes[node_idx] == _DISABLED) & ~np.array(at_source, dtype=bool)
+        ).tolist()
+        return node_idx.tolist(), backtrack, sorted_dirs.tolist(), valid.tolist(), (cls, order)
+
+    def batch_candidate_pairs(
+        self, headers: Sequence[ProbeHeader]
+    ) -> List[Optional[List[CandidatePair]]]:
+        """Per header: the ordered ``(direction, next hop, link slot)`` candidates.
+
+        ``None`` mirrors :func:`~repro.core.routing.decision_candidates`
+        returning ``None`` (rule 1: disabled node away from the source).
+        The triples are shared per-mesh tuples, so a batch allocates only
+        the per-header lists.  This is the form the simulator's batched
+        step loop consumes.
+        """
+        if not headers:
+            return []
+        node_idx, backtrack, sorted_dirs, counts, _ = self._batch(headers)
+        pairs = self._pairs
+        out: List[Optional[List[CandidatePair]]] = []
+        for g in range(len(headers)):
+            if backtrack[g]:
+                out.append(None)
+                continue
+            node_pairs = pairs[node_idx[g]]
+            row = sorted_dirs[g]
+            out.append([node_pairs[row[j]] for j in range(counts[g])])  # type: ignore[misc]
+        return out
+
+    def batch_candidates(
+        self, headers: Sequence[ProbeHeader]
+    ) -> List[Optional[List[Tuple[DirectionClass, Direction]]]]:
+        """Per header: the classified candidate list of one decision step.
+
+        Byte-identical to calling
+        :func:`~repro.core.routing.decision_candidates` per header against
+        the same information — the parity suite asserts exactly that.
+        """
+        if not headers:
+            return []
+        _, backtrack, sorted_dirs, counts, (cls, order) = self._batch(headers)
+        sorted_cls = np.take_along_axis(cls[:, self._perm], order, axis=1).tolist()
+        dirs = self.mesh.directions
+        out: List[Optional[List[Tuple[DirectionClass, Direction]]]] = []
+        for g in range(len(headers)):
+            if backtrack[g]:
+                out.append(None)
+                continue
+            row_d = sorted_dirs[g]
+            row_c = sorted_cls[g]
+            out.append(
+                [(_CLASSES[row_c[j]], dirs[row_d[j]]) for j in range(counts[g])]
+            )
+        return out

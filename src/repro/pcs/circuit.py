@@ -372,7 +372,14 @@ class ArrayCircuitLedger:
         self._reserved_count = 0
 
     def blocked_for(self, holder: int):
-        """The :data:`~repro.core.routing.LinkBlocked` predicate of ``holder``."""
+        """The :data:`~repro.core.routing.LinkBlocked` predicate of ``holder``.
+
+        The returned predicate additionally exposes a ``slot_blocked``
+        attribute taking a canonical link slot (:meth:`Mesh.link_index`)
+        directly — the vectorized decision batch precomputes each
+        candidate's slot, so the contended scan skips the endpoint-pair
+        lookup entirely.
+        """
         holder_col = self._holder
         link_index = self.mesh.link_index
 
@@ -380,6 +387,11 @@ class ArrayCircuitLedger:
             owner = holder_col[link_index(u, v)]
             return owner >= 0 and owner != holder
 
+        def slot_blocked(slot: int) -> bool:
+            owner = holder_col[slot]
+            return owner >= 0 and owner != holder
+
+        link_blocked.slot_blocked = slot_blocked
         return link_blocked
 
     def is_blocked(self, holder: int, u: Sequence[int], v: Sequence[int]) -> bool:

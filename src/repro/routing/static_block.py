@@ -10,12 +10,15 @@ labeling changes, so the simulator can sweep this policy too.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
+from repro.backend import resolve_backend
 from repro.core.block_construction import LabelingState, extract_blocks
 from repro.core.routing import (
+    UNSET,
     DecisionCache,
     LinkBlocked,
+    ProbeHeader,
     RouteOutcome,
     RouteResult,
     RoutingPolicy,
@@ -53,7 +56,7 @@ class StaticBlockRouter(Router):
     def __init__(self) -> None:
         self.policy = RoutingPolicy(name="static-block", use_boundary_info=False)
         self._view: Optional[
-            Tuple[LabelingState, int, InformationState, DecisionCache]
+            Tuple[LabelingState, int, InformationState, Dict[str, DecisionCache]]
         ] = None
 
     def adjacent_view(self, mesh: Mesh, labeling: LabelingState) -> InformationState:
@@ -65,18 +68,33 @@ class StaticBlockRouter(Router):
         return self._view_entry(mesh, labeling)[0]
 
     def _view_entry(
-        self, mesh: Mesh, labeling: LabelingState
+        self,
+        mesh: Mesh,
+        labeling: LabelingState,
+        backend: Optional[str] = None,
     ) -> Tuple[InformationState, DecisionCache]:
+        """The cached adjacent-only view plus a decision cache over it.
+
+        ``backend`` picks the cache's classification backend (``None`` →
+        environment default); caches per backend share the one view, so a
+        simulator whose configured backend differs from the environment
+        still batches through the backend it asked for.
+        """
+        resolved = resolve_backend(backend)
         cached = self._view
         if (
             cached is not None
             and cached[0] is labeling
             and cached[1] == labeling.mutations
         ):
-            return cached[2], cached[3]
-        view = adjacent_only_information(mesh, labeling)
-        cache = DecisionCache(view, self.policy)
-        self._view = (labeling, labeling.mutations, view, cache)
+            view, caches = cached[2], cached[3]
+        else:
+            view = adjacent_only_information(mesh, labeling)
+            caches = {}
+            self._view = (labeling, labeling.mutations, view, caches)
+        cache = caches.get(resolved)
+        if cache is None:
+            cache = caches[resolved] = DecisionCache(view, self.policy, backend=resolved)
         return view, cache
 
     def route(
@@ -123,18 +141,35 @@ class StaticBlockProbe:
         self._router = router
         self._inner = RoutingProbe(mesh, source, destination, policy=router.policy)
 
+    def batch_entry(
+        self, info: SimulationInfo, backend: Optional[str] = None
+    ) -> Optional[Tuple[DecisionCache, ProbeHeader]]:
+        """(serving cache, header) for the engine's vectorized decision batch.
+
+        This probe decides against the adjacent-only view, so the simulator
+        must classify it through the router's cache over that view — not
+        through the engine's own cache.  ``backend`` is the simulator's
+        resolved backend, honored even when it differs from the
+        environment default.
+        """
+        _view, cache = self._router._view_entry(info.mesh, info.labeling, backend)
+        return cache, self._inner.header
+
     def step(
         self,
         info: SimulationInfo,
         *,
         link_blocked: Optional[LinkBlocked] = None,
         decision_cache: Optional[DecisionCache] = None,
+        candidates: object = UNSET,
     ) -> Optional[RouteOutcome]:
         # The engine's cache is bound to *its* information state; this probe
         # decides against the adjacent-only view, so it uses the decision
         # cache the router keeps alongside that view instead.
         view, cache = self._router._view_entry(info.mesh, info.labeling)
-        return self._inner.step(view, link_blocked=link_blocked, decision_cache=cache)
+        return self._inner.step(
+            view, link_blocked=link_blocked, decision_cache=cache, candidates=candidates
+        )
 
     def result(self) -> RouteResult:
         return self._inner.result()

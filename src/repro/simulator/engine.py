@@ -25,15 +25,17 @@ detour statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.backend import resolve_backend
+from repro.backend import VECTOR, resolve_backend
 from repro.core.block_construction import extract_blocks, labeling_round
 from repro.core.boundary import BoundaryProtocol
 from repro.core.identification import IdentificationProtocol
 from repro.core.routing import (
+    UNSET,
     DecisionCache,
     LinkBlocked,
+    ProbeHeader,
     RouteOutcome,
     RoutingPolicy,
     RoutingProbe,
@@ -101,12 +103,13 @@ class SimulationConfig:
     #: (the benchmark baseline).
     batch_by_node: bool = True
 
-    #: Hot-loop implementation for the labeling rounds and the circuit
-    #: ledger: ``"vector"`` (numpy stencil gathers + flat reservation
-    #: columns), ``"scalar"`` (the pure-Python reference) or ``None`` to
-    #: resolve via the ``REPRO_BACKEND`` environment variable (vector by
-    #: default).  Both produce byte-identical statuses, block extents and
-    #: reserved-link sets — the parity tests hold the two to that.
+    #: Hot-loop implementation for the labeling rounds, the circuit ledger
+    #: and the per-probe decision engine: ``"vector"`` (numpy stencil
+    #: gathers, flat reservation columns, batched direction classification),
+    #: ``"scalar"`` (the pure-Python reference) or ``None`` to resolve via
+    #: the ``REPRO_BACKEND`` environment variable (vector by default).  Both
+    #: produce byte-identical statuses, block extents, reserved-link sets
+    #: and probe decisions — the parity tests hold the two to that.
     backend: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -198,7 +201,16 @@ class Simulator:
         if self.config.batch_by_node:
             policy = getattr(self.router, "policy", None)
             if isinstance(policy, RoutingPolicy):
-                self._decision_cache = DecisionCache(self.info, policy)
+                self._decision_cache = DecisionCache(
+                    self.info, policy, backend=self._backend
+                )
+
+        #: Candidates of probes that WAITed last step (fenced in at their
+        #: source), keyed by holder: a wait changes neither the header nor
+        #: the information, so the classification is reused instead of
+        #: recomputed — invalidated wholesale when information mutates.
+        self._wait_carryover: Dict[int, object] = {}
+        self._carry_token: Optional[Tuple[int, int]] = None
 
         self._identified_extents: Set[Region] = set()
         self._identifications: List[IdentificationProtocol] = []
@@ -378,19 +390,27 @@ class Simulator:
 
         cache = self._decision_cache
         lifetime = self._probe_lifetime
+        precomputed = self._batch_decisions()
+        wait_carry: Dict[int, object] = {}
         remaining: List[
             Tuple[TrafficMessage, SetupProbe, int, Optional[LinkBlocked], bool]
         ] = []
-        for entry in self._probes:
+        for i, entry in enumerate(self._probes):
             message, probe, holder, blocked, cacheable = entry
             probe_cache = cache if cacheable else None
+            candidates = precomputed[i] if precomputed is not None else UNSET
             if ledger is None:
-                outcome = probe.step(self.info, decision_cache=probe_cache)
+                outcome = probe.step(
+                    self.info, decision_cache=probe_cache, candidates=candidates
+                )
             else:
                 stack = probe.circuit_stack
                 prev_len, prev_tail = len(stack), stack[-1]
                 outcome = probe.step(
-                    self.info, link_blocked=blocked, decision_cache=probe_cache
+                    self.info,
+                    link_blocked=blocked,
+                    decision_cache=probe_cache,
+                    candidates=candidates,
                 )
                 # Mirror the probe's partial circuit incrementally (a probe
                 # moves at most one hop per step): a forward hop reserves its
@@ -423,13 +443,105 @@ class Simulator:
                     else:
                         ledger.release(holder)
             else:
+                if candidates is not UNSET and getattr(probe, "waited", False):
+                    # Fenced in at the source: nothing changed, so this
+                    # step's classification is next step's too.
+                    wait_carry[holder] = candidates
                 remaining.append(entry)
         self._probes = remaining
+        self._wait_carryover = wait_carry
         if ledger is not None:
             self.stats.record_occupancy(ledger.reserved_links)
 
         self._step += 1
         self.stats.steps = self._step
+
+    def _batch_decisions(self) -> Optional[List[object]]:
+        """Precompute this step's candidate lists for every batchable probe.
+
+        With per-node batching and the vector backend, the decision inputs
+        of all in-flight probes are classified in one vectorized pass per
+        serving :class:`DecisionCache` — the engine's own cache for plain
+        Algorithm-3 probes, and whatever cache a probe's ``batch_entry``
+        hook nominates for probes that decide against a derived view (the
+        static-block adjacent-only view).  This is parity-safe: the
+        information state is frozen during the message phase and a probe's
+        header only changes when that probe itself steps, so precomputing
+        before the loop reads exactly what each probe would have read
+        in-loop.  Returns a list aligned with ``self._probes`` (``None``
+        when nothing was batched); slots left at the UNSET sentinel
+        (global-information's BFS follower has no per-direction
+        classification, and the scalar backend keeps the reference loop)
+        classify as before.
+        """
+        probes = self._probes
+        if not (self.config.batch_by_node and self._backend == VECTOR and probes):
+            return None
+        own = self._decision_cache
+        if all(entry[4] for entry in probes):
+            # Homogeneous batch (the common case): every probe is a plain
+            # RoutingProbe served by the engine's own cache.
+            if own is None or own.backend != VECTOR:
+                return None
+            token = (
+                self.info.labeling.mutations,
+                self.info.record_mutations,
+            )
+            carry = self._wait_carryover
+            if carry and token != self._carry_token:
+                carry.clear()
+            self._carry_token = token
+            out: List[object] = [UNSET] * len(probes)
+            indices: List[int] = []
+            headers: List[ProbeHeader] = []
+            for i, entry in enumerate(probes):
+                probe = entry[1]
+                if probe.outcome is not None:  # type: ignore[attr-defined]
+                    continue
+                if probe.waited:  # type: ignore[attr-defined]
+                    cached = carry.get(entry[2])
+                    if cached is not None:
+                        out[i] = cached
+                        continue
+                indices.append(i)
+                headers.append(probe.header)  # type: ignore[attr-defined]
+            if indices:
+                for i, candidates in zip(
+                    indices, own.batch_candidate_pairs(headers)
+                ):
+                    out[i] = candidates
+            return out
+        groups: Dict[int, Tuple[DecisionCache, List[int], List[ProbeHeader]]] = {}
+        for i, entry in enumerate(probes):
+            probe = entry[1]
+            if probe.done:
+                continue
+            if entry[4]:  # cacheable: a plain RoutingProbe on the engine's info
+                group_cache = own
+                header = probe.header  # type: ignore[attr-defined]
+            else:
+                hook = getattr(probe, "batch_entry", None)
+                if hook is None:
+                    continue
+                pair = hook(self.info, self._backend)
+                if pair is None:
+                    continue
+                group_cache, header = pair
+            if group_cache is None or group_cache.backend != VECTOR:
+                continue
+            group = groups.get(id(group_cache))
+            if group is None:
+                group = groups[id(group_cache)] = (group_cache, [], [])
+            group[1].append(i)
+            group[2].append(header)
+        if not groups:
+            return None
+        out = [UNSET] * len(probes)
+        for group_cache, indices, headers in groups.values():
+            batch = group_cache.batch_candidate_pairs(headers)
+            for i, candidates in zip(indices, batch):
+                out[i] = candidates
+        return out
 
     def _finish_probe(
         self, message: TrafficMessage, probe: SetupProbe, *, finish_step: Optional[int]

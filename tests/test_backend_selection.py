@@ -1,0 +1,103 @@
+"""Backend selection and validation (repro.backend + the CLI ``--backend``)."""
+
+import os
+
+import pytest
+
+from repro.backend import (
+    ENV_VAR,
+    SCALAR,
+    VECTOR,
+    available_backends,
+    default_backend,
+    resolve_backend,
+)
+from repro.cli import main
+
+
+class TestResolution:
+    def test_available_backends(self):
+        assert available_backends() == (VECTOR, SCALAR)
+
+    def test_default_is_vector(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert default_backend() == VECTOR
+        assert resolve_backend(None) == VECTOR
+
+    def test_env_var_selects(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, SCALAR)
+        assert default_backend() == SCALAR
+        # An explicit argument still wins over the environment.
+        assert resolve_backend(VECTOR) == VECTOR
+
+    def test_explicit_names_normalized(self):
+        assert resolve_backend("VECTOR") == VECTOR
+        assert resolve_backend("  Scalar ") == SCALAR
+
+    def test_env_value_normalized(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, " Vector\n")
+        assert default_backend() == VECTOR
+
+    def test_env_typo_raises_with_menu(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "vectro")
+        with pytest.raises(ValueError) as excinfo:
+            default_backend()
+        message = str(excinfo.value)
+        assert ENV_VAR in message
+        assert VECTOR in message and SCALAR in message
+
+    def test_explicit_typo_raises_with_menu(self):
+        with pytest.raises(ValueError) as excinfo:
+            resolve_backend("numpy")
+        message = str(excinfo.value)
+        assert VECTOR in message and SCALAR in message
+
+
+class TestCliBackendFlag:
+    SIMULATE = [
+        "simulate", "--shape", "6,6", "--faults", "2", "--messages", "3",
+        "--interval", "5",
+    ]
+
+    def test_simulate_accepts_backend(self, capsys, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, VECTOR)
+        assert main(self.SIMULATE + ["--backend", "scalar"]) == 0
+        assert os.environ[ENV_VAR] == SCALAR
+        assert "delivery_rate" in capsys.readouterr().out
+
+    def test_simulate_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.SIMULATE + ["--backend", "bogus"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_backend_not_exported_unless_given(self, capsys, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert main(self.SIMULATE) == 0
+        assert ENV_VAR not in os.environ
+        capsys.readouterr()
+
+    @pytest.mark.parametrize("backend", [VECTOR, SCALAR])
+    def test_sweep_backend_produces_identical_json(self, backend, capsys, monkeypatch):
+        """--backend must never change results, only the implementation."""
+        monkeypatch.setenv(ENV_VAR, VECTOR)
+        args = [
+            "sweep", "--shape", "6,6", "--faults", "2", "--messages", "3",
+            "--seeds", "0", "--policies", "limited-global",
+        ]
+        assert main(args + ["--backend", backend]) == 0
+        if not hasattr(self, "_reference_json"):
+            type(self)._reference_json = capsys.readouterr().out
+        else:
+            assert capsys.readouterr().out == self._reference_json
+
+    def test_throughput_accepts_backend(self, capsys, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, VECTOR)
+        args = [
+            "throughput", "--shape", "6,6", "--policy", "limited-global",
+            "--rates", "0.01", "--faults", "2",
+            "--warmup", "8", "--measure", "24", "--drain", "60",
+            "--backend", "scalar",
+        ]
+        assert main(args) == 0
+        assert os.environ[ENV_VAR] == SCALAR
+        assert "policy limited-global" in capsys.readouterr().out

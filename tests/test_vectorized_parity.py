@@ -1,12 +1,14 @@
-"""Scalar-vs-vectorized parity: labeling engine, ledger, flat index tables.
+"""Scalar-vs-vectorized parity: labeling, ledger, decisions, index tables.
 
-The numpy-vectorized labeling engine and the array-backed reservation
-ledger must be *byte-identical* to their pure-Python reference
-implementations — same statuses, same mutation counters, same block
-extents, same reserved-link sets, same simulation statistics.  These tests
-drive both implementations through randomized fault churn, dynamic
-schedule replays, full contended simulations for every registered router
-policy, and randomized reserve/release/ref-count/expiry sequences.
+The numpy-vectorized labeling engine, the array-backed reservation ledger
+and the batched decision engine must be *byte-identical* to their
+pure-Python reference implementations — same statuses, same mutation
+counters, same block extents, same reserved-link sets, same candidate
+classifications, same simulation statistics.  These tests drive both
+implementations through randomized fault churn, dynamic schedule replays,
+full simulations for every registered router policy in both contention
+modes, randomized probe-decision sweeps over every probe kind, and
+randomized reserve/release/ref-count/expiry sequences.
 """
 
 import numpy as np
@@ -15,18 +17,28 @@ import pytest
 from repro.backend import SCALAR, VECTOR
 from repro.core.block_construction import (
     LabelingState,
+    build_blocks,
     extract_blocks,
     labeling_round,
     run_block_construction,
 )
+from repro.core.distribution import distribute_information
+from repro.core.routing import (
+    DecisionCache,
+    RoutingPolicy,
+    RoutingProbe,
+    decision_candidates,
+)
+from repro.core.state import InformationState
 from repro.faults.injection import uniform_random_faults
 from repro.faults.schedule import DynamicFaultSchedule, FaultEvent, FaultEventKind
 from repro.mesh.topology import Mesh
 from repro.pcs.circuit import ArrayCircuitLedger, Circuit, LiveCircuitLedger
 from repro.routing import available_routers
+from repro.routing.static_block import adjacent_only_information
 from repro.simulator.engine import SimulationConfig, Simulator
 from repro.simulator.traffic import TrafficMessage
-from repro.workloads.traffic import transpose_pairs
+from repro.workloads.traffic import random_pairs, transpose_pairs
 
 BACKENDS = (SCALAR, VECTOR)
 
@@ -149,9 +161,17 @@ class TestScheduleReplayParity:
 
 
 class TestPolicyContentionParity:
+    @pytest.mark.parametrize("contention", [False, True])
     @pytest.mark.parametrize("policy", sorted(available_routers()))
-    def test_policy_parity_under_contention(self, policy):
-        """Acceptance gate: every registry policy, contention on, both backends."""
+    def test_policy_parity_both_contention_modes(self, policy, contention):
+        """Acceptance gate: every registry policy x contention mode, both backends.
+
+        With the vector backend the simulator classifies probe decisions
+        through the batched engine (and, under contention, scans candidates
+        against the array ledger's occupancy columns); the scalar backend
+        keeps the per-probe reference loop.  Stats and per-message paths
+        must be byte-identical.
+        """
         mesh = Mesh.cube(8, 2)
         rng = np.random.default_rng(11)
         faults = uniform_random_faults(mesh, 4, rng, margin=1)
@@ -172,7 +192,7 @@ class TestPolicyContentionParity:
                 schedule=DynamicFaultSchedule.static(faults),
                 traffic=list(traffic),
                 config=SimulationConfig(
-                    router=policy, contention=True, backend=backend
+                    router=policy, contention=contention, backend=backend
                 ),
             )
             stats = sim.run().stats
@@ -185,6 +205,161 @@ class TestPolicyContentionParity:
                 ],
             )
         assert outputs[SCALAR] == outputs[VECTOR]
+
+
+# --------------------------------------------------------------------- #
+# batched decision engine
+# --------------------------------------------------------------------- #
+
+#: The five Algorithm-3 policies with their offline information view
+#: builders; ``global-information`` plans with a BFS (no per-direction
+#: classification) and is covered by the full-simulation parity above.
+DECISION_POLICIES = {
+    "limited-global": (RoutingPolicy.limited_global, distribute_information),
+    "static-block": (
+        lambda: RoutingPolicy(name="static-block", use_boundary_info=False),
+        adjacent_only_information,
+    ),
+    "boundary-only": (
+        lambda: RoutingPolicy(name="boundary-only", use_block_info=False),
+        distribute_information,
+    ),
+    "no-disabled-avoid": (
+        lambda: RoutingPolicy(name="no-disabled-avoid", avoid_known_disabled=False),
+        distribute_information,
+    ),
+    "no-information": (
+        RoutingPolicy.no_information,
+        lambda mesh, labeling: InformationState(mesh=mesh, labeling=labeling),
+    ),
+}
+
+
+def _decision_population(mesh, info, policy, rng, count):
+    """In-flight headers covering all four probe kinds.
+
+    * **fresh** — a probe still at its source (no stack, no used set);
+    * **advancing** — mid-walk with an incoming direction;
+    * **revisiting** — nodes with non-empty used-direction sets (walks that
+      backtracked or looped);
+    * **rule-1** — a probe standing on a *disabled* node away from its
+      source (``decision_candidates`` must return ``None``).
+
+    The first three arise from stepping real probes to staggered depths;
+    the rule-1 kind is crafted explicitly because delivered walks avoid it.
+    """
+    labeling = info.labeling
+    pairs = random_pairs(
+        mesh, count, rng,
+        min_distance=max(2, mesh.diameter // 2),
+        exclude=list(labeling.block_nodes),
+    )
+    cache = DecisionCache(info, policy, backend=SCALAR)
+    headers = []
+    for i, (src, dst) in enumerate(pairs):
+        probe = RoutingProbe(mesh, src, dst, policy=policy)
+        for _ in range(i % (mesh.diameter + 2)):
+            if probe.done:
+                break
+            probe.step(info, decision_cache=cache)
+        if not probe.done:
+            headers.append(probe.header)
+    # Rule-1 kind: place a probe on every disabled node (entered from a
+    # neighbor, so the source differs and the unconditional-backtrack rule
+    # fires), plus one *starting* on a disabled node (rule 1 must not fire).
+    for node in sorted(labeling.disabled_nodes):
+        for neighbor in mesh.neighbors(node):
+            if labeling.is_operational(neighbor):
+                probe = RoutingProbe(mesh, neighbor, node, policy=policy)
+                probe.header.push(node)
+                headers.append(probe.header)
+                break
+        far = max(mesh.nodes(), key=lambda c: mesh.distance(c, node))
+        headers.append(RoutingProbe(mesh, node, far, policy=policy).header)
+    return headers
+
+
+class TestDecisionBatchParity:
+    """Vectorized batch classification == scalar reference, byte-identical."""
+
+    @pytest.mark.parametrize("policy_name", sorted(DECISION_POLICIES))
+    @pytest.mark.parametrize("shape,seed", [((12, 12), 0), ((12, 12), 1), ((7, 7, 7), 2)])
+    def test_randomized_decision_sweep(self, policy_name, shape, seed):
+        mesh = Mesh(shape)
+        rng = np.random.default_rng(seed)
+        faults = uniform_random_faults(mesh, max(4, mesh.size // 80), rng, margin=1)
+        labeling = build_blocks(mesh, faults).state
+        make_policy, make_info = DECISION_POLICIES[policy_name]
+        policy = make_policy()
+        info = make_info(mesh, labeling)
+        headers = _decision_population(mesh, info, policy, rng, count=48)
+        assert headers, "population generation produced no in-flight headers"
+
+        scalar_cache = DecisionCache(info, policy, backend=SCALAR)
+        expected = [
+            decision_candidates(info, h, policy=policy, cache=scalar_cache)
+            for h in headers
+        ]
+        vector_cache = DecisionCache(info, policy, backend=VECTOR)
+        assert vector_cache.batch_candidates(headers) == expected
+        # The compact simulator form must carry the same directions in the
+        # same order, with each next hop and link slot matching the mesh.
+        for header, classified, compact in zip(
+            headers, expected, vector_cache.batch_candidate_pairs(headers)
+        ):
+            if classified is None:
+                assert compact is None
+                continue
+            node = header.current
+            assert [d for _, d in classified] == [d for d, _, _ in compact]
+            for direction, nxt, slot in compact:
+                assert nxt == direction.apply(node)
+                assert slot == mesh.link_index(node, nxt)
+
+    def test_rule_one_returns_none(self):
+        """A probe on a disabled node away from its source gets ``None``."""
+        mesh = Mesh.cube(8, 2)
+        faults = [(3, 3), (3, 5), (5, 3), (5, 5), (4, 4)]
+        labeling = build_blocks(mesh, faults).state
+        disabled = sorted(labeling.disabled_nodes)
+        assert disabled, "fault pattern must disable at least one node"
+        info = distribute_information(mesh, labeling)
+        policy = RoutingPolicy.limited_global()
+        node = disabled[0]
+        entered = RoutingProbe(mesh, (0, 0), (7, 7), policy=policy)
+        entered.header.stack = [(0, 0), node]
+        starting = RoutingProbe(mesh, node, (7, 7), policy=policy)
+        cache = DecisionCache(info, policy, backend=VECTOR)
+        batch = cache.batch_candidates([entered.header, starting.header])
+        assert batch[0] is None
+        assert batch[1] is not None  # rule 1 never strands a probe at home
+        assert batch == [
+            decision_candidates(info, h, policy=policy)
+            for h in (entered.header, starting.header)
+        ]
+
+    def test_batch_tracks_information_mutations(self):
+        """The engine's tables refresh when labeling or records change."""
+        mesh = Mesh.cube(8, 2)
+        labeling = build_blocks(mesh, [(3, 3)]).state
+        info = distribute_information(mesh, labeling)
+        policy = RoutingPolicy.limited_global()
+        cache = DecisionCache(info, policy, backend=VECTOR)
+        header = RoutingProbe(mesh, (5, 3), (7, 7), policy=policy).header
+        before = cache.batch_candidates([header])
+        assert before == [decision_candidates(info, header, policy=policy)]
+        # Grow the block: (5,3)'s -x neighbor turns faulty, so its usable
+        # direction set (and with it the candidate list) must change.
+        labeling.make_faulty((4, 3))
+        run_block_construction(labeling)
+        info.clear_information()
+        fresh = distribute_information(mesh, labeling)
+        info.node_blocks.update(fresh.node_blocks)
+        info.node_boundaries.update(fresh.node_boundaries)
+        info.record_mutations += 1
+        after = cache.batch_candidates([header])
+        assert after == [decision_candidates(info, header, policy=policy)]
+        assert after != before
 
 
 # --------------------------------------------------------------------- #
