@@ -257,6 +257,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--messages", type=_parse_int_list, default=(12,), help="routing messages per cell")
     sweep.add_argument("--seeds", type=_parse_int_list, default=(0,), help="replicate seeds, e.g. 0,1,2")
     sweep.add_argument("--workers", type=int, default=1, help="worker processes (1 = serial)")
+    sweep.add_argument(
+        "--engine",
+        choices=("serial", "stacked"),
+        default="serial",
+        help="cell execution engine: one-cell-at-a-time, or same-shape "
+        "simulate cells stepped together on a shared probe table "
+        "(single-process, byte-identical results)",
+    )
     sweep.add_argument("--name", default="sweep", help="spec name (seeds the cell derivation)")
     sweep.add_argument("--out", default=None, help="write JSON here instead of stdout")
     _add_backend_argument(sweep)
@@ -460,10 +468,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         raise argparse.ArgumentTypeError(str(exc))
     print(
         f"sweep {spec.name!r}: {spec.cell_count} cells, mode={spec.mode}, "
-        f"workers={max(args.workers, 1)}",
+        f"engine={args.engine}, workers={max(args.workers, 1)}",
         file=sys.stderr,
     )
-    batch = run_batch(spec, workers=args.workers)
+    batch = run_batch(spec, workers=args.workers, engine=args.engine)
     payload = batch.to_json()
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:

@@ -35,7 +35,7 @@ whole run.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -71,6 +71,304 @@ _PREFERRED_DETOUR = int(DirectionClass.PREFERRED_DETOUR)
 _SPARE = int(DirectionClass.SPARE)
 _DISABLED_NEIGHBOR = int(DirectionClass.DISABLED_NEIGHBOR)
 _INCOMING = int(DirectionClass.INCOMING)
+
+
+class DecisionTables:
+    """Flat per-node classification tables of one information generation.
+
+    Everything :func:`classify_rows` reads: the per-node state tables built
+    by :meth:`VectorDecisionEngine._refresh` plus the mesh-geometry
+    constants.  The stacked multi-cell runner concatenates several engines'
+    tables along the node axis (shifting ``c_start`` by the per-cell
+    constraint-row offsets), which works because every lookup here is keyed
+    by a flat node index.
+    """
+
+    __slots__ = (
+        "node_codes",
+        "usable",
+        "disabled_nb",
+        "along",
+        "c_start",
+        "c_count",
+        "c_prism",
+        "c_target_lo",
+        "c_target_hi",
+        "dims",
+        "signs",
+        "perm",
+        "span",
+        "n",
+        "two_n",
+        "size",
+        "coords",
+        "base_key",
+        "disabled_flag",
+        "has_constraints",
+        "detour_bits",
+        "bit_range",
+        "keys",
+        "usable_bits",
+        "coords_s",
+    )
+
+    #: Largest ``nodes x destinations`` product for which the per-generation
+    #: detour bit table is precomputed (4 bytes per entry).
+    DETOUR_TABLE_CAP = 1 << 22
+
+    def __init__(
+        self,
+        *,
+        node_codes,
+        usable,
+        disabled_nb,
+        along,
+        c_start,
+        c_count,
+        c_prism,
+        c_target_lo,
+        c_target_hi,
+        dims,
+        signs,
+        perm,
+        span,
+        n,
+        two_n,
+        size=None,
+        coords=None,
+    ) -> None:
+        self.node_codes = node_codes
+        self.usable = usable
+        self.disabled_nb = disabled_nb
+        self.along = along
+        self.c_start = c_start
+        self.c_count = c_count
+        self.c_prism = c_prism
+        self.c_target_lo = c_target_lo
+        self.c_target_hi = c_target_hi
+        self.dims = dims
+        self.signs = signs
+        self.perm = perm
+        self.span = span
+        self.n = n
+        self.two_n = two_n
+        #: Destination-index domain and its coordinate rows — enable the
+        #: per-(node, destination) detour bit table when provided.
+        self.size = size
+        self.coords = coords
+        # Lazily packed derivatives (built on first classify_rows call).
+        self.base_key = None
+        self.disabled_flag = None
+        self.has_constraints = None
+        self.detour_bits = None
+        self.bit_range = None
+        self.keys = None
+        self.usable_bits = None
+        self.coords_s = None
+
+    def packed(self):
+        """Build (once) the packed composite-key tables classify_rows uses.
+
+        ``base_key[node, dir]`` is the composite sort key of the direction's
+        class ignoring the per-row preferred/incoming/used overrides — the
+        scalar class precedence folded into one gatherable int.  With
+        ``size``/``coords`` present, the detour test (a per-destination prism
+        membership) is also precompiled into ``detour_bits[node, dest]``.
+        """
+        if self.base_key is not None:
+            return self
+        span = self.span
+        unit = span + 1
+        base_cls = np.where(
+            self.disabled_nb,
+            _DISABLED_NEIGHBOR,
+            np.where(self.along, _SPARE_ALONG_BLOCK, _SPARE),
+        )
+        self.base_key = base_cls * unit + span
+        self.disabled_flag = self.node_codes == _DISABLED
+        self.has_constraints = bool(self.c_count.any())
+        self.bit_range = np.arange(self.two_n, dtype=np.uint32)
+        self.usable_bits = (
+            (self.usable.astype(np.uint32) << self.bit_range).sum(axis=1)
+        ).astype(np.uint32)
+        if self.coords is not None:
+            # Per-node coordinates pre-permuted to surface order and
+            # pre-signed, so the preferred test is a single subtraction.
+            self.coords_s = self.coords[:, self.dims] * self.signs
+        else:
+            self.coords_s = None
+        self.keys = (
+            _DISABLED_NEIGHBOR * unit + span,  # DN_KEY
+            _PREFERRED * unit + span,  # PREF_BASE (minus remaining-offset)
+            _PREFERRED_DETOUR * unit + span,  # PD_KEY
+            _INCOMING * unit + span,  # INC_KEY
+            _SKIP * unit + span,  # SKIP_KEY
+            _SKIP * unit,  # SKIP_BASE (every real class sorts below it)
+        )
+        if (
+            self.detour_bits is None  # may be pre-seeded by the engine
+            and self.has_constraints
+            and self.size is not None
+            and self.coords is not None
+            and self.node_codes.shape[0] * self.size <= self.DETOUR_TABLE_CAP
+        ):
+            self.detour_bits = self._build_detour_bits()
+        return self
+
+    def _build_detour_bits(self):
+        """``detour_bits[node, dest] >> dir & 1``: direction enters a
+        dangerous prism while ``dest`` lies in the constraint's target."""
+        cnt = self.c_count
+        nodes_c = np.flatnonzero(cnt)
+        reps = cnt[nodes_c]
+        total = int(reps.sum())
+        starts = np.cumsum(reps) - reps
+        row_ids = np.repeat(self.c_start[nodes_c], reps) + (
+            np.arange(total) - np.repeat(starts, reps)
+        )
+        owner = np.repeat(nodes_c, reps)
+        dest_coords = self.coords
+        lo = self.c_target_lo[row_ids]
+        hi = self.c_target_hi[row_ids]
+        in_target = (dest_coords[None, :, :] >= lo[:, None, :]).all(axis=2) & (
+            dest_coords[None, :, :] <= hi[:, None, :]
+        ).all(axis=2)
+        prism_bits = (
+            (self.c_prism[row_ids].astype(np.uint32) << self.bit_range).sum(axis=1)
+        ).astype(np.uint32)
+        contrib = in_target.astype(np.uint32) * prism_bits[:, None]
+        bits = np.zeros((self.node_codes.shape[0], self.size), dtype=np.uint32)
+        np.bitwise_or.at(bits, owner, contrib)
+        return bits
+
+
+def classify_rows(
+    tables: DecisionTables,
+    node_idx: np.ndarray,
+    cur: np.ndarray,
+    prev: Optional[np.ndarray],
+    dest: np.ndarray,
+    used_mask: np.ndarray,
+    at_source: np.ndarray,
+    *,
+    cur_idx: Optional[np.ndarray] = None,
+    dest_idx: Optional[np.ndarray] = None,
+    rev_col: Optional[np.ndarray] = None,
+    used_bits: Optional[np.ndarray] = None,
+    want_cls: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray], np.ndarray]:
+    """Classify and order a batch of decision rows in one pass.
+
+    The array-native core shared by the header-based batch
+    (:meth:`VectorDecisionEngine._batch`) and the struct-of-arrays probe
+    table, so the two can never diverge.  ``node_idx`` indexes into
+    ``tables`` (already cell-offset for stacked runs); ``cur``/``prev``/
+    ``dest`` are ``(P, n)`` coordinate rows (``prev == cur`` for probes
+    holding no link); ``used_mask`` is the ``(P, 2n)`` already-used
+    direction mask and ``at_source`` the rule-1 source check (coordinate
+    equality, *not* stack depth).  Returns ``(backtrack, sorted_dirs,
+    counts, cls, order)``: rule-1 unconditional backtracks, direction
+    indices in priority order, how many are real candidates, and the raw
+    class/order arrays for callers that want the classes back.
+
+    Callers that track probe state in columns can skip per-row rework:
+    ``rev_col`` is the pre-reversed incoming direction (surface index,
+    ``-1`` for probes holding no link — ``prev`` is then ignored and may be
+    ``None``), ``cur_idx``/``dest_idx`` are the *cell-local* linear node
+    indices (keying the pre-signed coordinate and detour bit tables —
+    ``cur``/``dest`` coordinate rows are then ignored and may be ``None``),
+    ``used_bits`` the packed per-row used-direction word (``used_mask`` may
+    then be ``None``), and ``want_cls=False`` drops the class-code array
+    from the return.
+    """
+    pk = tables.packed()
+    P = node_idx.shape[0]
+    n = tables.n
+    two_n = tables.two_n
+    dn_key, pref_base, pd_key, inc_key, skip_key, skip_base = pk.keys
+
+    # Preferred directions and the remaining-offset ordering key.  The
+    # composite sort key is class * (span+1) + within-class offset (the
+    # offset is ``span - remaining`` for PREFERRED, ``span`` otherwise), so
+    # a direction's key orders by class first, then farther-to-go first.
+    if cur_idx is not None and pk.coords_s is not None:
+        dd = pk.coords_s[dest_idx] - pk.coords_s[cur_idx]
+        pref = dd > 0
+    else:
+        delta = dest - cur
+        dd = delta[:, tables.dims] * tables.signs
+        pref = dd > 0
+    remaining = np.abs(dd)
+
+    comp = pk.base_key[node_idx]
+    # Preferred overrides the spare classes but not a disabled neighbor.
+    pref_ok = pref & (comp != dn_key)
+    pref_val = pref_base - remaining
+
+    # Detour demotion: preferred directions entering a dangerous prism
+    # while the destination lies in the opposite prism.  Only probes at
+    # constraint-holding nodes contribute rows.
+    if pk.has_constraints:
+        if pk.detour_bits is not None and dest_idx is not None:
+            dt = pk.detour_bits[node_idx, dest_idx]
+            detour = (dt[:, None] >> pk.bit_range) & np.uint32(1)
+        else:
+            counts = tables.c_count[node_idx]
+            detour = np.zeros((P, two_n), dtype=bool)
+            if counts.any():
+                sel = np.flatnonzero(counts)
+                cnts = counts[sel]
+                total = int(cnts.sum())
+                seg_starts = np.cumsum(cnts) - cnts
+                reps = np.repeat(np.arange(sel.size), cnts)
+                rows_c = np.repeat(tables.c_start[node_idx[sel]], cnts) + (
+                    np.arange(total) - np.repeat(seg_starts, cnts)
+                )
+                d_all = dest if dest is not None else tables.coords[dest_idx]
+                d_sel = d_all[sel][reps]
+                in_target = np.all(
+                    d_sel >= tables.c_target_lo[rows_c], axis=1
+                ) & np.all(d_sel <= tables.c_target_hi[rows_c], axis=1)
+                hit = in_target[:, None] & tables.c_prism[rows_c]
+                detour[sel] = np.logical_or.reduceat(hit, seg_starts, axis=0)
+        pref_val = np.where(detour, pd_key, pref_val)
+    comp = np.where(pref_ok, pref_val, comp)
+
+    # Incoming direction, reversed: the link the probe arrived over.  It
+    # outranks every class except the used/unusable skip applied last.
+    if rev_col is None:
+        diff = cur - prev
+        moved = diff != 0
+        has_in = moved.any(axis=1)
+        in_dim = moved.argmax(axis=1)
+        in_sign = diff[np.arange(P), in_dim]
+        # Reversed direction (dim, -sign): surface index dim when the
+        # reversed sign is negative (sign > 0), dim + n otherwise.
+        rev_col = np.where(in_sign > 0, in_dim, in_dim + n)
+        entered = np.flatnonzero(has_in)
+    else:
+        entered = np.flatnonzero(rev_col >= 0)
+    comp[entered, rev_col[entered]] = inc_key
+
+    if used_bits is not None:
+        avail = ~used_bits & pk.usable_bits[node_idx]
+        comp = np.where(
+            (avail[:, None] >> pk.bit_range) & np.uint32(1), comp, skip_key
+        )
+    else:
+        comp = np.where(tables.usable[node_idx] & ~used_mask, comp, skip_key)
+
+    # Priority order: (class, -remaining within PREFERRED, dim, sign).
+    # The (dim, sign) tie-break comes from pre-permuting the columns and
+    # using a stable sort on the composite scalar key.
+    perm = tables.perm
+    order = np.argsort(comp[:, perm], axis=1, kind="stable")
+    sorted_dirs = perm[order]
+    valid = (comp < skip_base).sum(axis=1)
+
+    backtrack = pk.disabled_flag[node_idx] & ~at_source
+    cls = comp // (tables.span + 1) if want_cls else None
+    return backtrack, sorted_dirs, valid, cls, order
 
 
 class VectorDecisionEngine:
@@ -111,22 +409,49 @@ class VectorDecisionEngine:
         for d in range(n - 2, -1, -1):
             strides[d] = strides[d + 1] * mesh.shape[d + 1]
         self._strides = np.array(strides, dtype=np.int64)
+        #: Coordinate row per linear node index (feeds the detour bit table).
+        self._coords = np.stack(
+            np.unravel_index(np.arange(mesh.size, dtype=np.int64), mesh.shape),
+            axis=1,
+        )
+        #: Per surface-order direction: its coordinate offset row, so a
+        #: node's ``2n`` neighbor coordinates are one broadcast add.
+        self._dir_offsets = np.zeros((self._two_n, n), dtype=np.int64)
+        for j, d in enumerate(dirs):
+            self._dir_offsets[j, d.dim] = d.sign
+        self._bit_range32 = np.arange(self._two_n, dtype=np.uint32)
 
         #: Per node (linear index), per direction: the shared
         #: ``(direction, neighbor, link slot)`` triple handed out in
         #: candidate lists (``None`` off-mesh — never selected, the skip
-        #: mask covers it).
-        self._pairs: List[List[Optional[CandidatePair]]] = [
-            [
-                (d, nb, mesh.link_index(node, nb))
-                if (nb := mesh.neighbor(node, d)) is not None
-                else None
-                for d in dirs
-            ]
-            for node in (mesh.coord_of(i) for i in range(mesh.size))
-        ]
+        #: mask covers it).  Built lazily: the struct-of-arrays probe table
+        #: consumes raw direction indices and never materializes these.
+        self._pairs_table: Optional[List[List[Optional[CandidatePair]]]] = None
+
+        #: Per-node compiled geometry rows (along-block mask, prism rows,
+        #: target bounds), keyed by linear node index and validated against
+        #: the provider's identity-stable geometry tuples — a refresh only
+        #: recompiles the nodes whose records actually changed.
+        self._geom_cache: Dict[int, Tuple] = {}
 
         self._token: Optional[Tuple[int, int]] = None
+
+    @property
+    def _pairs(self) -> List[List[Optional[CandidatePair]]]:
+        pairs = self._pairs_table
+        if pairs is None:
+            mesh = self.mesh
+            dirs = mesh.directions
+            pairs = self._pairs_table = [
+                [
+                    (d, nb, mesh.link_index(node, nb))
+                    if (nb := mesh.neighbor(node, d)) is not None
+                    else None
+                    for d in dirs
+                ]
+                for node in (mesh.coord_of(i) for i in range(mesh.size))
+            ]
+        return pairs
 
     # ------------------------------------------------------------------ #
     # per-information-generation tables
@@ -166,41 +491,151 @@ class VectorDecisionEngine:
         along = np.zeros((size, two_n), dtype=bool)
         c_start = np.zeros(size, dtype=np.int64)
         c_count = np.zeros(size, dtype=np.int64)
-        prism_rows: List[List[bool]] = []
-        target_lo: List[Sequence[int]] = []
-        target_hi: List[Sequence[int]] = []
+        prism_chunks: List[np.ndarray] = []
+        lo_chunks: List[np.ndarray] = []
+        hi_chunks: List[np.ndarray] = []
+        detour_rows: List[Tuple[int, np.ndarray]] = []
+        n_rows = 0
         if policy.use_block_info or policy.use_boundary_info:
-            dirs = mesh.directions
+            cache = self._geom_cache
+            geom_fn = getattr(info, "routing_geometry", None)
+            use_blk = policy.use_block_info
+            use_bnd = policy.use_boundary_info
+            offsets = self._dir_offsets
+            coords = self._coords
+            want_detour = size * size <= DecisionTables.DETOUR_TABLE_CAP
             for node in sorted(info.nodes_holding_information()):  # type: ignore[attr-defined]
-                constraints, frames = _routing_geometry(info, node, policy)
+                if geom_fn is not None:
+                    constraints, frames = geom_fn(
+                        node, use_block_info=use_blk, use_boundary_info=use_bnd
+                    )
+                else:
+                    constraints, frames = _routing_geometry(info, node, policy)
                 if not constraints and not frames:
                     continue
                 idx = mesh.index_of(node)
-                if frames:
-                    for j, d in enumerate(dirs):
-                        nb = d.apply(node)
-                        along[idx, j] = any(
-                            frame.contains(nb) and not extent.contains(nb)
-                            for extent, frame in frames
+                ent = cache.get(idx)
+                if ent is None or ent[0] is not constraints or ent[1] is not frames:
+                    # The provider's geometry tuples are identity-stable
+                    # until the node's records change, so ``is`` mismatches
+                    # exactly when this node needs recompiling.  Region
+                    # membership is two inclusive bounds checks (off-mesh
+                    # neighbor coordinates fail them naturally).
+                    nb = np.asarray(node, dtype=np.int64) + offsets
+                    along_row = None
+                    if frames:
+                        flo = np.array([f.lo for _e, f in frames], dtype=np.int64)
+                        fhi = np.array([f.hi for _e, f in frames], dtype=np.int64)
+                        elo = np.array([e.lo for e, _f in frames], dtype=np.int64)
+                        ehi = np.array([e.hi for e, _f in frames], dtype=np.int64)
+                        in_frame = (nb >= flo[:, None, :]).all(2) & (
+                            nb <= fhi[:, None, :]
+                        ).all(2)
+                        in_extent = (nb >= elo[:, None, :]).all(2) & (
+                            nb <= ehi[:, None, :]
+                        ).all(2)
+                        along_row = (in_frame & ~in_extent).any(0)
+                    prism_arr = lo_arr = hi_arr = detour_row = None
+                    if constraints:
+                        plo = np.array([p.lo for p, _t in constraints], dtype=np.int64)
+                        phi = np.array([p.hi for p, _t in constraints], dtype=np.int64)
+                        prism_arr = (nb[None, :, :] >= plo[:, None, :]).all(2) & (
+                            nb[None, :, :] <= phi[:, None, :]
+                        ).all(2)
+                        lo_arr = np.array(
+                            [target.lo for _prism, target in constraints],
+                            dtype=np.int64,
                         )
-                if constraints:
-                    c_start[idx] = len(prism_rows)
-                    c_count[idx] = len(constraints)
-                    for prism, target in constraints:
-                        prism_rows.append([prism.contains(d.apply(node)) for d in dirs])
-                        target_lo.append(target.lo)
-                        target_hi.append(target.hi)
+                        hi_arr = np.array(
+                            [target.hi for _prism, target in constraints],
+                            dtype=np.int64,
+                        )
+                        if want_detour:
+                            # This node's detour bit row over every
+                            # destination, compiled once per record change.
+                            in_target = (coords[None, :, :] >= lo_arr[:, None, :]).all(
+                                2
+                            ) & (coords[None, :, :] <= hi_arr[:, None, :]).all(2)
+                            pbits = (
+                                (prism_arr.astype(np.uint32) << self._bit_range32).sum(
+                                    axis=1
+                                )
+                            ).astype(np.uint32)
+                            detour_row = np.bitwise_or.reduce(
+                                in_target.astype(np.uint32) * pbits[:, None], axis=0
+                            )
+                    ent = (
+                        constraints,
+                        frames,
+                        along_row,
+                        prism_arr,
+                        lo_arr,
+                        hi_arr,
+                        detour_row,
+                    )
+                    cache[idx] = ent
+                if ent[2] is not None:
+                    along[idx] = ent[2]
+                if ent[3] is not None:
+                    c_start[idx] = n_rows
+                    c_count[idx] = ent[3].shape[0]
+                    prism_chunks.append(ent[3])
+                    lo_chunks.append(ent[4])
+                    hi_chunks.append(ent[5])
+                    n_rows += ent[3].shape[0]
+                    if ent[6] is not None:
+                        detour_rows.append((idx, ent[6]))
         self._along = along
         self._c_start = c_start
         self._c_count = c_count
-        if prism_rows:
-            self._c_prism = np.array(prism_rows, dtype=bool)
-            self._c_target_lo = np.array(target_lo, dtype=np.int64)
-            self._c_target_hi = np.array(target_hi, dtype=np.int64)
+        if prism_chunks:
+            self._c_prism = np.concatenate(prism_chunks)
+            self._c_target_lo = np.concatenate(lo_chunks)
+            self._c_target_hi = np.concatenate(hi_chunks)
         else:
             self._c_prism = np.zeros((0, two_n), dtype=bool)
             self._c_target_lo = np.zeros((0, self._n), dtype=np.int64)
             self._c_target_hi = np.zeros((0, self._n), dtype=np.int64)
+        self._tables_obj = DecisionTables(
+            node_codes=self._node_codes,
+            usable=self._usable,
+            disabled_nb=self._disabled_nb,
+            along=self._along,
+            c_start=self._c_start,
+            c_count=self._c_count,
+            c_prism=self._c_prism,
+            c_target_lo=self._c_target_lo,
+            c_target_hi=self._c_target_hi,
+            dims=self._dims,
+            signs=self._signs,
+            perm=self._perm,
+            span=self._span,
+            n=self._n,
+            two_n=self._two_n,
+            size=self.mesh.size,
+            coords=self._coords,
+        )
+        if detour_rows:
+            # Assemble the per-(node, destination) detour table from the
+            # cached rows so ``packed`` never rebuilds it from scratch.
+            bits = np.zeros((size, size), dtype=np.uint32)
+            for idx, row in detour_rows:
+                bits[idx] = row
+            self._tables_obj.detour_bits = bits
+
+    def tables(self) -> Tuple[DecisionTables, Tuple[int, int]]:
+        """The (refreshed-on-demand) classification tables plus their token.
+
+        The struct-of-arrays probe table classifies against these directly
+        (via :func:`classify_rows`), and the stacked runner concatenates the
+        tables of several cells; the token is the same validity key the
+        header-based batch uses, so callers can cache derived state.
+        """
+        token = self._validity_token()
+        if token != self._token:
+            self._refresh()
+            self._token = token
+        return self._tables_obj, token
 
     # ------------------------------------------------------------------ #
     # the batched classification
@@ -217,14 +652,10 @@ class VectorDecisionEngine:
         candidates (the rest are skipped directions sorted to the back) and
         the matching class codes.
         """
-        token = self._validity_token()
-        if token != self._token:
-            self._refresh()
-            self._token = token
+        tables, _token = self.tables()
 
         n = self._n
         two_n = self._two_n
-        P = len(headers)
         # One row per probe: current node, previous stack node (= current
         # when the probe holds no link yet) and destination, concatenated so
         # a single array build covers all three.
@@ -242,27 +673,8 @@ class VectorDecisionEngine:
         dest = rows[:, 2 * n :]
         node_idx = cur @ self._strides
 
-        # Preferred directions and the remaining-offset ordering key.
-        delta = dest - cur
-        dd = delta[:, self._dims]
-        pref = (dd * self._signs) > 0
-        remaining = np.abs(dd)
-
-        # Incoming direction, reversed: the link the probe arrived over.
-        diff = cur - prev
-        moved = diff != 0
-        has_in = moved.any(axis=1)
-        in_dim = moved.argmax(axis=1)
-        in_sign = diff[np.arange(P), in_dim]
-        # Reversed direction (dim, -sign): surface index dim when the
-        # reversed sign is negative (sign > 0), dim + n otherwise.
-        rev_col = np.where(in_sign > 0, in_dim, in_dim + n)
-        inc_mask = np.zeros((P, two_n), dtype=bool)
-        entered = np.flatnonzero(has_in)
-        inc_mask[entered, rev_col[entered]] = True
-
         # Used directions and the rule-1 source check (cheap header reads).
-        used_mask = np.zeros((P, two_n), dtype=bool)
+        used_mask = np.zeros((len(headers), two_n), dtype=bool)
         at_source: List[bool] = []
         for g, h in enumerate(headers):
             stack = h.stack
@@ -272,51 +684,22 @@ class VectorDecisionEngine:
                 for d in used:
                     used_mask[g, d.dim + (n if d.sign > 0 else 0)] = True
 
-        # Detour demotion: preferred directions entering a dangerous prism
-        # while the destination lies in the opposite prism.  Only probes at
-        # constraint-holding nodes contribute rows.
-        counts = self._c_count[node_idx]
-        detour = np.zeros((P, two_n), dtype=bool)
-        if counts.any():
-            sel = np.flatnonzero(counts)
-            cnts = counts[sel]
-            total = int(cnts.sum())
-            seg_starts = np.cumsum(cnts) - cnts
-            reps = np.repeat(np.arange(sel.size), cnts)
-            rows_c = np.repeat(self._c_start[node_idx[sel]], cnts) + (
-                np.arange(total) - np.repeat(seg_starts, cnts)
-            )
-            d_sel = dest[sel][reps]
-            in_target = np.all(d_sel >= self._c_target_lo[rows_c], axis=1) & np.all(
-                d_sel <= self._c_target_hi[rows_c], axis=1
-            )
-            hit = in_target[:, None] & self._c_prism[rows_c]
-            detour[sel] = np.logical_or.reduceat(hit, seg_starts, axis=0)
-
-        # Class assignment, lowest priority first so later writes override
-        # exactly in the scalar if/elif order (incoming > disabled-neighbor
-        # > preferred(-detour) > spare(-along-block)).
-        cls = np.where(self._along[node_idx], _SPARE_ALONG_BLOCK, _SPARE)
-        cls = np.where(pref & detour, _PREFERRED_DETOUR, cls)
-        cls = np.where(pref & ~detour, _PREFERRED, cls)
-        cls = np.where(self._disabled_nb[node_idx], _DISABLED_NEIGHBOR, cls)
-        cls = np.where(inc_mask, _INCOMING, cls)
-        cls = np.where(self._usable[node_idx] & ~used_mask, cls, _SKIP)
-
-        # Priority order: (class, -remaining within PREFERRED, dim, sign).
-        # The (dim, sign) tie-break comes from pre-permuting the columns and
-        # using a stable sort on the composite scalar key.
-        span = self._span
-        composite = cls * (span + 1) + np.where(cls == _PREFERRED, span - remaining, span)
-        perm = self._perm
-        order = np.argsort(composite[:, perm], axis=1, kind="stable")
-        sorted_dirs = perm[order]
-        valid = (cls != _SKIP).sum(axis=1)
-
-        backtrack = (
-            (self._node_codes[node_idx] == _DISABLED) & ~np.array(at_source, dtype=bool)
-        ).tolist()
-        return node_idx.tolist(), backtrack, sorted_dirs.tolist(), valid.tolist(), (cls, order)
+        backtrack, sorted_dirs, valid, cls, order = classify_rows(
+            tables,
+            node_idx,
+            cur,
+            prev,
+            dest,
+            used_mask,
+            np.array(at_source, dtype=bool),
+        )
+        return (
+            node_idx.tolist(),
+            backtrack.tolist(),
+            sorted_dirs.tolist(),
+            valid.tolist(),
+            (cls, order),
+        )
 
     def batch_candidate_pairs(
         self, headers: Sequence[ProbeHeader]

@@ -1,0 +1,954 @@
+"""Struct-of-arrays probe engine (flat Algorithm-3 path setup).
+
+The scalar simulator keeps one :class:`~repro.core.routing.RoutingProbe`
+object per in-flight message and steps them in a Python loop.  This module
+keeps *all* in-flight probes' state as flat numpy columns instead:
+
+* the PCS stack as a ``(probes, depth_cap)`` int32 node-index matrix with a
+  per-probe depth pointer (plus a parallel matrix of the link slot entered
+  at each push, so backtracks release by precomputed slot);
+* per-probe used-direction state as a ``(probes, size)`` uint32 bitmask
+  (bit ``j`` = direction column ``j`` of :attr:`Mesh.directions`);
+* outcome codes, hop/blocked/retry counters, waited flags and the full
+  traversal log as further columns.
+
+One :meth:`ProbeTable.run_step` call is then a handful of array passes:
+candidates for every probe needing a decision are gathered in one
+:func:`~repro.core.decision.classify_rows` call, contention-free probes
+advance/backtrack by masked column writes, and contended probes run a lean
+sequential scan against the :class:`~repro.pcs.circuit.ArrayCircuitLedger`
+holder column (sequential because a reservation taken by probe *i* must be
+visible to probe *i + 1* within the same step — exactly the scalar loop's
+semantics).  Decisions, per-message paths and statistics are byte-identical
+to the scalar engine; the parity suite holds the two to that.
+
+The table is multi-cell: several simulators sharing one mesh shape can
+attach to one table (the stacked sweep runner does), each with its own
+information state, traffic and ledger.  Their classification tables are
+concatenated along the node axis so the whole stack classifies in one pass.
+"""
+
+from __future__ import annotations
+
+from itertools import repeat
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.decision import DecisionTables, VectorDecisionEngine, classify_rows
+from repro.core.routing import RouteOutcome, RouteResult
+from repro.mesh.topology import Mesh
+from repro.pcs.circuit import Circuit
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.simulator.engine import Simulator
+    from repro.simulator.traffic import TrafficMessage
+
+Coord = Tuple[int, ...]
+
+#: Outcome codes of the ``outcome`` column.
+OUTCOME_NONE = -1
+OUTCOME_DELIVERED = 0
+OUTCOME_UNREACHABLE = 1
+
+_OUTCOMES = {
+    OUTCOME_DELIVERED: RouteOutcome.DELIVERED,
+    OUTCOME_UNREACHABLE: RouteOutcome.UNREACHABLE,
+    OUTCOME_NONE: RouteOutcome.EXHAUSTED,
+}
+
+
+class _CellState:
+    """One attached simulator: its decision engine and ledger bindings."""
+
+    __slots__ = ("sim", "engine", "ledger", "lifetime", "carry_token")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        # The simulator's own vector engine (shared with DecisionCache so
+        # its refreshed tables serve both entry points).
+        engine = sim._decision_cache._engine()
+        assert isinstance(engine, VectorDecisionEngine)
+        self.engine = engine
+        self.ledger = sim.circuits
+        self.lifetime = sim._probe_lifetime
+        #: Information token of the last classification — WAIT carryover is
+        #: only valid while it is unchanged (the scalar carry's contract).
+        self.carry_token: Optional[Tuple[int, int]] = None
+
+
+class ProbeTable:
+    """All in-flight probes of one or more same-shape cells, as flat columns."""
+
+    def __init__(self, mesh: Mesh) -> None:
+        self.mesh = mesh
+        n = mesh.n_dims
+        self._n = n
+        self._two_n = 2 * n
+        self._size = mesh.size
+        if self._two_n > 32:
+            raise ValueError("used-direction bitmask supports at most 16 dimensions")
+        self._neighbors = mesh.neighbor_table
+        self._slots = mesh.link_slot_table
+        self._coord_tuples = tuple(mesh.nodes())
+
+        self._cells: List[_CellState] = []
+        self._cell_count: List[int] = []
+        self._offsets = np.zeros(0, dtype=np.int64)
+        self._cell_is_free = np.zeros(0, dtype=bool)
+        self._any_free = False
+        self._any_contended = False
+        self._concat_tokens: Optional[List[Tuple[int, int]]] = None
+        self._concat_tables: Optional[DecisionTables] = None
+        self._concat_patchable = False
+        self._concat_hasc: List[bool] = []
+        self._arange = np.zeros(0, dtype=np.int64)
+
+        # -- columns (exact row count; compacted as probes finish) ---------
+        self._depth_cap = 8
+        self._path_cap = 16
+        # High-water stack depth / path length (capacity growth triggers).
+        self._hw_depth = 0
+        self._hw_plen = 0
+        self._cell = np.zeros(0, dtype=np.int32)
+        self._src = np.zeros(0, dtype=np.int32)
+        self._dest = np.zeros(0, dtype=np.int32)
+        self._depth = np.zeros(0, dtype=np.int32)
+        self._stack = np.zeros((0, self._depth_cap), dtype=np.int32)
+        self._sslot = np.zeros((0, self._depth_cap), dtype=np.int32)
+        # Reversed entry direction per stack position (-1 at the source):
+        # the INCOMING surface index, so classification never reconstructs
+        # it from coordinate diffs.
+        self._sdir = np.full((0, self._depth_cap), -1, dtype=np.int8)
+        self._used = np.zeros((0, mesh.size), dtype=np.uint32)
+        self._plen = np.zeros(0, dtype=np.int32)
+        self._path = np.zeros((0, self._path_cap), dtype=np.int32)
+        self._fwd = np.zeros(0, dtype=np.int64)
+        self._bwd = np.zeros(0, dtype=np.int64)
+        self._blk = np.zeros(0, dtype=np.int64)
+        self._rty = np.zeros(0, dtype=np.int64)
+        self._waited = np.zeros(0, dtype=bool)
+        # Ledger release-epoch at the row's last full WAIT scan (-1 = must
+        # scan).  While the cell's epoch is unchanged no link was freed, so
+        # a parked waiter's candidates are provably still all blocked.
+        self._wepoch = np.zeros(0, dtype=np.int64)
+        self._outc = np.zeros(0, dtype=np.int8)
+        self._start = np.zeros(0, dtype=np.int64)
+        self._life = np.zeros(0, dtype=np.int64)
+        self._holder = np.zeros(0, dtype=np.int64)
+        self._msgs: List["TrafficMessage"] = []
+        # -- carryover candidate columns (valid while ``cand_valid``) ------
+        self._cdirs = np.zeros((0, self._two_n), dtype=np.int8)
+        self._cnext = np.zeros((0, self._two_n), dtype=np.int32)
+        self._cslot = np.zeros((0, self._two_n), dtype=np.int32)
+        # Candidate count, with rule-1 backtracks encoded as -1 (zero is a
+        # genuine empty candidate list).
+        self._cn = np.zeros(0, dtype=np.int16)
+        self._cvalid = np.zeros(0, dtype=bool)
+
+    # ------------------------------------------------------------------ #
+    # cell management
+    # ------------------------------------------------------------------ #
+    def attach(self, sim: "Simulator") -> int:
+        """Attach a simulator as one cell; returns its cell id."""
+        if sim.mesh.shape != self.mesh.shape:
+            raise ValueError(
+                f"cell mesh {sim.mesh.shape} does not match table mesh {self.mesh.shape}"
+            )
+        cell = len(self._cells)
+        self._cells.append(_CellState(sim))
+        self._cell_count.append(0)
+        self._offsets = np.arange(len(self._cells), dtype=np.int64) * self._size
+        self._cell_is_free = np.array(
+            [cs.ledger is None for cs in self._cells], dtype=bool
+        )
+        self._any_free = bool(self._cell_is_free.any())
+        self._any_contended = not self._cell_is_free.all()
+        self._concat_tokens = None
+        self._concat_tables = None
+        self._concat_patchable = False
+        self._concat_hasc = []
+        return cell
+
+    def cell_rows(self, cell: int) -> int:
+        """Number of in-flight probes of ``cell`` (O(1) — kept current by
+        inject/compact, so per-step ``_work_remaining`` polls stay cheap)."""
+        return self._cell_count[cell]
+
+    def cell_messages(self, cell: int) -> Tuple["TrafficMessage", ...]:
+        """Messages of ``cell`` whose probes are still in flight, in order."""
+        rows = np.flatnonzero(self._cell == cell)
+        return tuple(self._msgs[r] for r in rows.tolist())
+
+    # ------------------------------------------------------------------ #
+    # the step
+    # ------------------------------------------------------------------ #
+    def run_step(self, t: int, cells: Sequence[int]) -> None:
+        """Execute the message phase of step ``t`` for the given cells.
+
+        Mirrors the scalar engine's phase 3 exactly: inject, release expired
+        holds, decide, advance/backtrack/wait, mirror reservations, finish,
+        record occupancy — in that per-cell order.
+        """
+        for c in cells:
+            self._inject(c, t)
+        for c in cells:
+            ledger = self._cells[c].ledger
+            if ledger is not None:
+                ledger.release_expired(t)
+        if len(self._cell):
+            self._classify()
+            self._ensure_capacity()
+            fin: List[int] = []
+            if self._any_free:
+                self._advance_free(fin, t)
+            if self._any_contended:
+                self._advance_contended(fin, t)
+            if fin:
+                keep = np.ones(self._cell.size, dtype=bool)
+                keep[fin] = False
+                self._compact(np.flatnonzero(keep))
+        for c in cells:
+            cs = self._cells[c]
+            if cs.ledger is not None:
+                cs.sim.stats.record_occupancy(cs.ledger.reserved_links)
+
+    # ------------------------------------------------------------------ #
+    # injection
+    # ------------------------------------------------------------------ #
+    def _inject(self, c: int, t: int) -> None:
+        cs = self._cells[c]
+        sim = cs.sim
+        messages = sim._source.poll(t)
+        if not messages:
+            return
+        index_of = self.mesh.index_of
+        src = [index_of(m.source) for m in messages]
+        dst = [index_of(m.destination) for m in messages]
+        k = len(messages)
+        holders = np.arange(sim._next_holder, sim._next_holder + k, dtype=np.int64)
+        sim._next_holder += k
+
+        src_a = np.array(src, dtype=np.int32)
+        dst_a = np.array(dst, dtype=np.int32)
+        stack = np.zeros((k, self._depth_cap), dtype=np.int32)
+        stack[:, 0] = src_a
+        path = np.zeros((k, self._path_cap), dtype=np.int32)
+        path[:, 0] = src_a
+        outc = np.where(src_a == dst_a, OUTCOME_DELIVERED, OUTCOME_NONE).astype(np.int8)
+
+        self._cell = np.concatenate([self._cell, np.full(k, c, dtype=np.int32)])
+        self._src = np.concatenate([self._src, src_a])
+        self._dest = np.concatenate([self._dest, dst_a])
+        self._depth = np.concatenate([self._depth, np.ones(k, dtype=np.int32)])
+        self._stack = np.concatenate([self._stack, stack])
+        self._sslot = np.concatenate(
+            [self._sslot, np.zeros((k, self._depth_cap), dtype=np.int32)]
+        )
+        self._sdir = np.concatenate(
+            [self._sdir, np.full((k, self._depth_cap), -1, dtype=np.int8)]
+        )
+        self._used = np.concatenate(
+            [self._used, np.zeros((k, self._size), dtype=np.uint32)]
+        )
+        self._plen = np.concatenate([self._plen, np.ones(k, dtype=np.int32)])
+        self._path = np.concatenate([self._path, path])
+        zero64 = np.zeros(k, dtype=np.int64)
+        self._fwd = np.concatenate([self._fwd, zero64])
+        self._bwd = np.concatenate([self._bwd, zero64])
+        self._blk = np.concatenate([self._blk, zero64])
+        self._rty = np.concatenate([self._rty, zero64])
+        self._waited = np.concatenate([self._waited, np.zeros(k, dtype=bool)])
+        self._wepoch = np.concatenate([self._wepoch, np.full(k, -1, dtype=np.int64)])
+        self._outc = np.concatenate([self._outc, outc])
+        self._start = np.concatenate(
+            [self._start, np.array([m.start_time for m in messages], dtype=np.int64)]
+        )
+        self._life = np.concatenate(
+            [self._life, np.full(k, cs.lifetime, dtype=np.int64)]
+        )
+        self._holder = np.concatenate([self._holder, holders])
+        self._msgs.extend(messages)
+        self._cdirs = np.concatenate(
+            [self._cdirs, np.zeros((k, self._two_n), dtype=np.int8)]
+        )
+        self._cnext = np.concatenate(
+            [self._cnext, np.zeros((k, self._two_n), dtype=np.int32)]
+        )
+        self._cslot = np.concatenate(
+            [self._cslot, np.zeros((k, self._two_n), dtype=np.int32)]
+        )
+        self._cn = np.concatenate([self._cn, np.zeros(k, dtype=np.int16)])
+        self._cvalid = np.concatenate([self._cvalid, np.zeros(k, dtype=bool)])
+        self._cell_count[c] += k
+        if self._hw_depth < 1:
+            self._hw_depth = 1
+        if self._hw_plen < 1:
+            self._hw_plen = 1
+
+    # ------------------------------------------------------------------ #
+    # classification
+    # ------------------------------------------------------------------ #
+    def _tables(self) -> Tuple[DecisionTables, List[Tuple[int, int]]]:
+        """Per-step classification tables (concatenated for multi-cell).
+
+        The concatenation is *patched*, not rebuilt: information tokens
+        churn cell-by-cell (every identification round bumps one), and with
+        many stacked cells some token changes almost every step.  Only the
+        changed cell's node-axis slices — raw tables plus the packed
+        composite keys and detour bits — are copied in.
+        """
+        if len(self._cells) == 1:
+            tables, token = self._cells[0].engine.tables()
+            return tables, [token]
+        per: List[DecisionTables] = []
+        tokens: List[Tuple[int, int]] = []
+        for cs in self._cells:
+            tables, token = cs.engine.tables()
+            per.append(tables)
+            tokens.append(token)
+        old_tokens = self._concat_tokens
+        if tokens == old_tokens and self._concat_tables is not None:
+            return self._concat_tables, tokens
+        concat = self._concat_tables
+        if concat is not None and self._concat_patchable:
+            size = self._size
+            pk = concat.packed()
+            for c, (tb, token) in enumerate(zip(per, tokens)):
+                if old_tokens is not None and token == old_tokens[c]:
+                    continue
+                sl = slice(c * size, (c + 1) * size)
+                cp = tb.packed()
+                concat.node_codes[sl] = tb.node_codes
+                concat.usable[sl] = tb.usable
+                concat.disabled_nb[sl] = tb.disabled_nb
+                concat.along[sl] = tb.along
+                pk.base_key[sl] = cp.base_key
+                pk.disabled_flag[sl] = cp.disabled_flag
+                pk.usable_bits[sl] = cp.usable_bits
+                if cp.detour_bits is not None:
+                    pk.detour_bits[sl] = cp.detour_bits
+                else:
+                    pk.detour_bits[sl] = 0
+                self._concat_hasc[c] = cp.has_constraints
+            concat.has_constraints = any(self._concat_hasc)
+            self._concat_tokens = tokens
+            return concat, tokens
+        # Full (re)build: first call, or the detour table exceeds its cap
+        # (the CSR constraint arrays must then stay consistent because the
+        # legacy reduceat path reads them).  Each cell's ``c_start`` entries
+        # shift by the number of constraint rows of the cells before it.
+        row_offset = 0
+        c_start_parts = []
+        for tables in per:
+            c_start_parts.append(tables.c_start + row_offset)
+            row_offset += tables.c_prism.shape[0]
+        first = per[0]
+        stacked = DecisionTables(
+            node_codes=np.concatenate([tb.node_codes for tb in per]),
+            usable=np.concatenate([tb.usable for tb in per]),
+            disabled_nb=np.concatenate([tb.disabled_nb for tb in per]),
+            along=np.concatenate([tb.along for tb in per]),
+            c_start=np.concatenate(c_start_parts),
+            c_count=np.concatenate([tb.c_count for tb in per]),
+            c_prism=np.concatenate([tb.c_prism for tb in per]),
+            c_target_lo=np.concatenate([tb.c_target_lo for tb in per]),
+            c_target_hi=np.concatenate([tb.c_target_hi for tb in per]),
+            dims=first.dims,
+            signs=first.signs,
+            perm=first.perm,
+            span=first.span,
+            n=first.n,
+            two_n=first.two_n,
+            size=first.size,
+            coords=first.coords,
+        )
+        pk = stacked.packed()
+        n_nodes = stacked.node_codes.shape[0]
+        within_cap = n_nodes * self._size <= DecisionTables.DETOUR_TABLE_CAP
+        if pk.detour_bits is None and within_cap:
+            # No cell holds constraints yet; allocate so later per-cell
+            # patches have a target (all-zero bits = no detours).
+            pk.detour_bits = np.zeros((n_nodes, self._size), dtype=np.uint32)
+        self._concat_patchable = pk.detour_bits is not None
+        self._concat_hasc = [tb.packed().has_constraints for tb in per]
+        self._concat_tokens = tokens
+        self._concat_tables = stacked
+        return stacked, tokens
+
+    def _classify(self) -> None:
+        """One classification pass over every row needing a decision.
+
+        Rows that WAITed last step reuse their stored candidates while the
+        cell's information token is unchanged — the scalar carry contract.
+        """
+        tables, tokens = self._tables()
+        for c, cs in enumerate(self._cells):
+            if tokens[c] != cs.carry_token:
+                if cs.carry_token is not None:
+                    self._cvalid[self._cell == c] = False
+                cs.carry_token = tokens[c]
+
+        # Finished-but-uncompacted rows (src == dst injections) classify
+        # harmlessly — the advance checks the outcome first — so the only
+        # skip worth testing for is the WAIT carry.
+        sel = np.flatnonzero(~(self._waited & self._cvalid))
+        if sel.size == 0:
+            return
+        dm1 = self._depth[sel] - 1
+        cur = self._stack[sel, dm1]
+        dest = self._dest[sel]
+        used_bits = self._used[sel, cur]
+        # Rule 1 compares positions, not stack depth: a probe that looped
+        # forward back onto its source coordinate is "at source" here.
+        at_source = cur == self._src[sel]
+        rev = self._sdir[sel, dm1]
+
+        if len(self._cells) > 1:
+            node_idx = cur + self._offsets[self._cell[sel]]
+        else:
+            node_idx = cur
+        backtrack, sorted_dirs, counts, _cls, _order = classify_rows(
+            tables,
+            node_idx,
+            None,
+            None,
+            None,
+            None,
+            at_source,
+            cur_idx=cur,
+            dest_idx=dest,
+            rev_col=rev,
+            used_bits=used_bits,
+            want_cls=False,
+        )
+        cur_col = cur[:, None]
+        self._cdirs[sel] = sorted_dirs
+        self._cn[sel] = np.where(backtrack, -1, counts)
+        self._cnext[sel] = self._neighbors[cur_col, sorted_dirs]
+        self._cslot[sel] = self._slots[cur_col, sorted_dirs]
+        self._cvalid[sel] = True
+        # Fresh candidates: any parked waiter here must do a full scan.
+        self._wepoch[sel] = -1
+
+    def _ensure_capacity(self) -> None:
+        """Grow the stack/path matrices so one more hop always fits.
+
+        Keyed off the high-water depth/path-length marks the advance passes
+        maintain, so no per-step column reduction is needed.
+        """
+        if self._hw_depth + 1 >= self._depth_cap:
+            new_cap = max(self._depth_cap * 2, self._hw_depth + 2)
+            pad = ((0, 0), (0, new_cap - self._depth_cap))
+            self._stack = np.pad(self._stack, pad)
+            self._sslot = np.pad(self._sslot, pad)
+            self._sdir = np.pad(self._sdir, pad)
+            self._depth_cap = new_cap
+        if self._hw_plen + 1 >= self._path_cap:
+            new_cap = max(self._path_cap * 2, self._hw_plen + 2)
+            self._path = np.pad(self._path, ((0, 0), (0, new_cap - self._path_cap)))
+            self._path_cap = new_cap
+
+    # ------------------------------------------------------------------ #
+    # contention-free advance (bulk)
+    # ------------------------------------------------------------------ #
+    def _advance_free(self, fin: List[int], t: int) -> None:
+        free_rows = self._cell_is_free[self._cell]
+        act = np.flatnonzero(free_rows & (self._outc == OUTCOME_NONE))
+        if act.size:
+            counts = self._cn[act]
+            # A non-positive count means BACKTRACK (rule-1 rows store -1,
+            # and rule 1 never fires at the source, so the at-source case
+            # is genuine exhaustion → UNREACHABLE).
+            bt = counts <= 0
+            at_src = self._depth[act] == 1
+            unreach = bt & at_src
+            if unreach.any():
+                self._outc[act[unreach]] = OUTCOME_UNREACHABLE
+            pop = bt & ~at_src
+            if pop.any():
+                r = act[pop]
+                self._depth[r] -= 1
+                self._bwd[r] += 1
+                retreat = self._stack[r, self._depth[r] - 1]
+                self._path[r, self._plen[r]] = retreat
+                self._plen[r] += 1
+            adv = ~bt
+            if adv.any():
+                r = act[adv]
+                cur = self._stack[r, self._depth[r] - 1]
+                d0 = self._cdirs[r, 0].astype(np.int64)
+                self._used[r, cur] |= np.uint32(1) << d0.astype(np.uint32)
+                nxt = self._cnext[r, 0]
+                self._stack[r, self._depth[r]] = nxt
+                self._sdir[r, self._depth[r]] = np.where(
+                    d0 < self._n, d0 + self._n, d0 - self._n
+                ).astype(np.int8)
+                self._depth[r] += 1
+                self._fwd[r] += 1
+                self._path[r, self._plen[r]] = nxt
+                self._plen[r] += 1
+                self._hw_depth = max(self._hw_depth, int(self._depth[r].max()))
+                delivered = nxt == self._dest[r]
+                if delivered.any():
+                    self._outc[r[delivered]] = OUTCOME_DELIVERED
+            if (pop | adv).any():
+                self._hw_plen = max(self._hw_plen, int(self._plen[act].max()))
+        rows_all = np.flatnonzero(free_rows)
+        if rows_all.size:
+            done = (self._outc[rows_all] != OUTCOME_NONE) | (
+                (t - self._start[rows_all]) >= self._life[rows_all]
+            )
+            if done.any():
+                finished = rows_all[done]
+                for r in finished.tolist():
+                    self._finish_row(r, t)
+                fin.extend(finished.tolist())
+
+    # ------------------------------------------------------------------ #
+    # contended advance (sequential, exact scalar semantics)
+    # ------------------------------------------------------------------ #
+    def _advance_contended(self, fin: List[int], t: int) -> None:
+        """Advance every contended cell's rows in one extraction pass.
+
+        Rows are walked grouped by cell (stable order within each cell —
+        the scalar sequential-visibility contract is per cell), so the
+        column extraction, the writeback and the batched matrix writes all
+        happen once per step regardless of how many cells are stacked.
+        """
+        # Gridlock short-circuit: a cell where every in-flight row is parked
+        # (waiting, release-epoch current, unexpired) cannot move, release
+        # or reserve anything this step, so the whole cell's step collapses
+        # to the exact counter bumps the scalar scan would make.  A single
+        # non-parked row disqualifies its cell — its releases could unblock
+        # parked rows mid-pass, which only the sequential walk can see.
+        #
+        # Single-cell fast path: the rows are the whole table, so columns
+        # extract without the fancy-index copy.
+        if len(self._cells) == 1:
+            count_rows = self._cell.size
+            if count_rows == 0:
+                return
+            parked = (
+                self._waited
+                & (self._wepoch == self._cells[0].ledger._epoch)
+                & ((t - self._start) < self._life)
+            )
+            if parked.all():
+                self._rty += 1
+                self._blk += self._cn
+                return
+            rows = None
+            if self._arange.size < count_rows:
+                self._arange = np.arange(
+                    max(count_rows, 2 * self._arange.size), dtype=np.int64
+                )
+            ridx = self._arange[:count_rows]
+            rlist: Sequence[int] = range(count_rows)
+            cell_stream: Iterable[int] = repeat(0)
+            take = lambda a: a  # noqa: E731
+        else:
+            contended_row = ~self._cell_is_free[self._cell]
+            epochs = np.fromiter(
+                (
+                    0 if cs.ledger is None else cs.ledger._epoch
+                    for cs in self._cells
+                ),
+                dtype=np.int64,
+                count=len(self._cells),
+            )
+            parked = (
+                self._waited
+                & (self._wepoch == epochs[self._cell])
+                & ((t - self._start) < self._life)
+            )
+            counts_arr = np.bincount(self._cell, minlength=len(self._cells))
+            allfast = (
+                (
+                    np.bincount(
+                        self._cell, weights=parked, minlength=len(self._cells)
+                    ).astype(np.int64)
+                    == counts_arr
+                )
+                & (counts_arr > 0)
+                & ~self._cell_is_free
+            )
+            if allfast.any():
+                av = allfast[self._cell]
+                self._rty[av] += 1
+                self._blk[av] += self._cn[av]
+                contended_row &= ~av
+            rows_all = np.flatnonzero(contended_row)
+            if rows_all.size == 0:
+                return
+            rows = rows_all[np.argsort(self._cell[rows_all], kind="stable")]
+            ridx = rows
+            rlist = rows.tolist()
+            cell_stream = self._cell[rows].tolist()
+            take = lambda a: a[rows]  # noqa: E731
+
+        # The per-hop reserve/release bookkeeping is inlined against the
+        # current cell's ledger columns (the scan already proved the slot
+        # free or ours), with the reserved-link count batched into
+        # ``res_delta`` and flushed at every cell switch and finish.
+        ledger = None
+        holder_col = refcount = release_col = held_map = None
+        cell_epoch = 0
+        cur_c = -1
+
+        stack = self._stack
+        sslot = self._sslot
+        path = self._path
+
+        depth_a = take(self._depth)
+        depth_l = depth_a.tolist()
+        plen_l = take(self._plen).tolist()
+        fwd_l = take(self._fwd).tolist()
+        bwd_l = take(self._bwd).tolist()
+        blk_l = take(self._blk).tolist()
+        rty_l = take(self._rty).tolist()
+        waited_l = take(self._waited).tolist()
+        wep_l = take(self._wepoch).tolist()
+        # Per-row geometry at the pre-step depth, extracted in bulk: the
+        # current node (used-bit updates), the retreat node one below it
+        # (backtrack path entries) and the entry slot (backtrack releases).
+        dm1 = depth_a - 1
+
+        # Deferred matrix writes: each row moves at most one hop per step
+        # and no row reads another row's stack/path/used, so the per-move
+        # scalar stores batch into a few fancy-index writes after the loop.
+        f_r: List[int] = []  # forward movers: row, pre-depth, pre-plen,
+        f_d: List[int] = []  # next node, slot taken, direction, from-node
+        f_p: List[int] = []
+        f_nxt: List[int] = []
+        f_slot: List[int] = []
+        f_dir: List[int] = []
+        f_cur: List[int] = []
+        b_r: List[int] = []  # backtrackers: row, pre-plen, retreat node
+        b_p: List[int] = []
+        b_ret: List[int] = []
+        rs_r: List[int] = []  # restarters: used mask clears
+        res_delta = 0
+        hw_d = 0
+        hw_p = 0
+
+        # One zip stream per read-only column: iterating fourteen parallel
+        # lists through a single zip is markedly cheaper than fourteen
+        # ``lst[i]`` index expressions per row.  depth/plen appear both in
+        # the stream (pre-step values — each row only mutates its own index,
+        # after zip has already read it) and as mutable lists for writeback.
+        stream = zip(
+            rlist,
+            cell_stream,
+            take(self._outc).tolist(),
+            depth_l,
+            plen_l,
+            take(self._cn).tolist(),
+            take(self._holder).tolist(),
+            take(self._dest).tolist(),
+            take(self._cslot).tolist(),
+            take(self._cnext).tolist(),
+            take(self._cdirs).tolist(),
+            ((t - take(self._start)) >= take(self._life)).tolist(),
+            stack[ridx, dm1].tolist(),
+            stack[ridx, np.maximum(dm1 - 1, 0)].tolist(),
+            sslot[ridx, dm1].tolist(),
+        )
+        for i, (r, c, outcome, depth, plen, count, mine, dest, row_slots,
+                row_next, row_dirs, expired, cur, ret, tslot) in enumerate(
+                    stream):
+            if c != cur_c:
+                if res_delta:
+                    ledger._reserved_count += res_delta
+                    res_delta = 0
+                ledger = self._cells[c].ledger
+                holder_col = ledger._holder
+                refcount = ledger._refcount
+                release_col = ledger._release
+                held_map = ledger._held
+                cell_epoch = ledger._epoch
+                cur_c = c
+            moved = 0
+            if outcome == OUTCOME_NONE:
+                if waited_l[i] and wep_l[i] == cell_epoch:
+                    # Parked waiter: no link in this cell was freed since its
+                    # last full scan (and its candidates are unchanged), so
+                    # every candidate is provably still blocked.  The scalar
+                    # scan would re-count the same blocks and wait again.
+                    rty_l[i] += 1
+                    blk_l[i] += count
+                    if expired:
+                        self._outc[r] = outcome
+                        self._blk[r] = blk_l[i]
+                        self._rty[r] = rty_l[i]
+                        ledger._reserved_count += res_delta
+                        res_delta = 0
+                        self._finish_row(r, t)
+                        cell_epoch = ledger._epoch
+                        fin.append(r)
+                    continue
+                stay = False  # WAIT or RESTART: no move, but expiry still runs
+                decision_backtrack = False
+                if count <= 0:
+                    if count == 0 and depth == 1 and (blk_l[i] or rty_l[i]):
+                        # RESTART: exhaustion contaminated by reservations.
+                        rs_r.append(r)
+                        rty_l[i] += 1
+                        waited_l[i] = False
+                        stay = True
+                    else:
+                        decision_backtrack = True
+                else:
+                    forward = -1
+                    blocked = 0
+                    for j in range(count):
+                        owner = holder_col[row_slots[j]]
+                        if owner >= 0 and owner != mine:
+                            blocked += 1
+                            continue
+                        forward = j
+                        break
+                    if blocked:
+                        blk_l[i] += blocked
+                    if forward < 0:
+                        rty_l[i] += 1
+                        if depth == 1:
+                            waited_l[i] = True  # WAIT: nothing to release
+                            wep_l[i] = cell_epoch  # park until a release
+                            stay = True
+                        else:
+                            decision_backtrack = True
+                if not stay:
+                    waited_l[i] = False
+                    if decision_backtrack:
+                        if depth == 1:
+                            outcome = OUTCOME_UNREACHABLE
+                        else:
+                            # Inline ledger.release_slot(mine, entry slot).
+                            slot = tslot
+                            held = held_map.get(mine)
+                            if held is not None and slot in held:
+                                rc = refcount[slot] - 1
+                                if rc <= 0:
+                                    refcount[slot] = 0
+                                    if release_col[slot] != -1:
+                                        release_col[slot] = -1
+                                    held.discard(slot)
+                                    if holder_col[slot] == mine:
+                                        holder_col[slot] = -1
+                                        res_delta -= 1
+                                        ledger._epoch += 1
+                                        cell_epoch += 1
+                                    if not held:
+                                        del held_map[mine]
+                                else:
+                                    refcount[slot] = rc
+                            depth_l[i] = depth - 1
+                            bwd_l[i] += 1
+                            moved = 2
+                            b_r.append(r)
+                            b_p.append(plen)
+                            b_ret.append(ret)
+                            p1 = plen + 1
+                            plen_l[i] = p1
+                            if p1 > hw_p:
+                                hw_p = p1
+                    else:
+                        slot = row_slots[forward]
+                        nxt = row_next[forward]
+                        moved = 1
+                        f_r.append(r)
+                        f_d.append(depth)
+                        f_p.append(plen)
+                        f_nxt.append(nxt)
+                        f_slot.append(slot)
+                        f_dir.append(row_dirs[forward])
+                        f_cur.append(cur)
+                        d1 = depth + 1
+                        depth_l[i] = d1
+                        if d1 > hw_d:
+                            hw_d = d1
+                        fwd_l[i] += 1
+                        p1 = plen + 1
+                        plen_l[i] = p1
+                        if p1 > hw_p:
+                            hw_p = p1
+                        # Inline ledger.reserve_slot(mine, slot): the scan
+                        # above proved the slot free or already ours.
+                        if holder_col[slot] < 0:
+                            holder_col[slot] = mine
+                            res_delta += 1
+                        held = held_map.get(mine)
+                        if held is None:
+                            held_map[mine] = {slot}
+                        else:
+                            held.add(slot)
+                        refcount[slot] += 1
+                        if nxt == dest:
+                            outcome = OUTCOME_DELIVERED
+            if outcome != OUTCOME_NONE or expired:
+                # Finish inline: sync this row's columns and pending matrix
+                # writes first (the record and circuit read them), then the
+                # finish releases — a delivery's excursion links (or a
+                # failure's whole circuit) free up for probes later in this
+                # loop.
+                self._outc[r] = outcome
+                self._depth[r] = depth_l[i]
+                self._plen[r] = plen_l[i]
+                self._fwd[r] = fwd_l[i]
+                self._bwd[r] = bwd_l[i]
+                self._blk[r] = blk_l[i]
+                self._rty[r] = rty_l[i]
+                if moved == 1:
+                    stack[r, depth] = f_nxt[-1]
+                    sslot[r, depth] = f_slot[-1]
+                    path[r, plen] = f_nxt[-1]
+                elif moved == 2:
+                    path[r, plen] = b_ret[-1]
+                ledger._reserved_count += res_delta
+                res_delta = 0
+                self._finish_row(r, t)
+                # The finish may have released the row's circuit links;
+                # parked waiters later in this pass must see that.
+                cell_epoch = ledger._epoch
+                fin.append(r)
+
+        # ``outc`` never changes for surviving rows (every outcome
+        # assignment finishes the row inline above), so it needs no
+        # writeback.
+        if rows is None:
+            self._depth[:] = depth_l
+            self._plen[:] = plen_l
+            self._fwd[:] = fwd_l
+            self._bwd[:] = bwd_l
+            self._blk[:] = blk_l
+            self._rty[:] = rty_l
+            self._waited[:] = waited_l
+            self._wepoch[:] = wep_l
+        else:
+            self._depth[rows] = depth_l
+            self._plen[rows] = plen_l
+            self._fwd[rows] = fwd_l
+            self._bwd[rows] = bwd_l
+            self._blk[rows] = blk_l
+            self._rty[rows] = rty_l
+            self._waited[rows] = waited_l
+            self._wepoch[rows] = wep_l
+
+        n = self._n
+        if f_r:
+            fr = np.array(f_r, dtype=np.int64)
+            fd = np.array(f_d, dtype=np.int64)
+            fdir = np.array(f_dir, dtype=np.int64)
+            nx = np.array(f_nxt, dtype=np.int32)
+            self._used[fr, f_cur] |= (np.uint32(1) << fdir).astype(np.uint32)
+            stack[fr, fd] = nx
+            sslot[fr, fd] = np.array(f_slot, dtype=np.int32)
+            self._sdir[fr, fd] = np.where(fdir < n, fdir + n, fdir - n).astype(
+                np.int8
+            )
+            path[fr, f_p] = nx
+        if b_r:
+            path[np.array(b_r, dtype=np.int64), b_p] = np.array(
+                b_ret, dtype=np.int32
+            )
+        if rs_r:
+            self._used[np.array(rs_r, dtype=np.int64)] = 0
+        ledger._reserved_count += res_delta
+        if hw_d > self._hw_depth:
+            self._hw_depth = hw_d
+        if hw_p > self._hw_plen:
+            self._hw_plen = hw_p
+
+    # ------------------------------------------------------------------ #
+    # finishing
+    # ------------------------------------------------------------------ #
+    def _row_result(self, r: int) -> RouteResult:
+        coords = self._coord_tuples
+        source = coords[self._src[r]]
+        destination = coords[self._dest[r]]
+        return RouteResult(
+            outcome=_OUTCOMES[int(self._outc[r])],
+            path=[coords[i] for i in self._path[r, : self._plen[r]].tolist()],
+            source=source,
+            destination=destination,
+            min_distance=self.mesh.distance(source, destination),
+            forward_hops=int(self._fwd[r]),
+            backtrack_hops=int(self._bwd[r]),
+            blocked_hops=int(self._blk[r]),
+            setup_retries=int(self._rty[r]),
+        )
+
+    def _finish_row(self, r: int, t: int) -> None:
+        """Record one finished row, mirroring the scalar finish order."""
+        cs = self._cells[self._cell[r]]
+        sim = cs.sim
+        message = self._msgs[r]
+        record = sim._finish_table_row(message, self._row_result(r), finish_step=t)
+        if sim._message_finished is not None:
+            sim._message_finished(record)
+        ledger = cs.ledger
+        if ledger is not None:
+            holder = int(self._holder[r])
+            if self._outc[r] == OUTCOME_DELIVERED:
+                coords = self._coord_tuples
+                circuit = Circuit.from_stack(
+                    [coords[i] for i in self._stack[r, : self._depth[r]].tolist()]
+                )
+                ledger.sync(holder, circuit.path)
+                hold = sim.config.transfer.hold_steps(circuit, message.flits)
+                ledger.hold_until(holder, t + hold)
+                sim.stats.circuits_reserved += 1
+            else:
+                ledger.release(holder)
+
+    def flush_cell(self, cell: int) -> None:
+        """Flush ``cell``'s in-flight probes (step budget ran out).
+
+        Mirrors the scalar :meth:`Simulator.run` tail: each probe is
+        recorded with no finish step (no source feedback), its reservations
+        released, and its row removed.
+        """
+        rows = np.flatnonzero(self._cell == cell)
+        if rows.size == 0:
+            return
+        cs = self._cells[cell]
+        sim = cs.sim
+        for r in rows.tolist():
+            sim._finish_table_row(self._msgs[r], self._row_result(r), finish_step=None)
+            if cs.ledger is not None:
+                cs.ledger.release(int(self._holder[r]))
+        keep = np.ones(len(self._cell), dtype=bool)
+        keep[rows] = False
+        self._compact(np.flatnonzero(keep))
+
+    def _compact(self, keep: np.ndarray) -> None:
+        self._cell = self._cell[keep]
+        self._src = self._src[keep]
+        self._dest = self._dest[keep]
+        self._depth = self._depth[keep]
+        self._stack = self._stack[keep]
+        self._sslot = self._sslot[keep]
+        self._sdir = self._sdir[keep]
+        self._used = self._used[keep]
+        self._plen = self._plen[keep]
+        self._path = self._path[keep]
+        self._fwd = self._fwd[keep]
+        self._bwd = self._bwd[keep]
+        self._blk = self._blk[keep]
+        self._rty = self._rty[keep]
+        self._waited = self._waited[keep]
+        self._wepoch = self._wepoch[keep]
+        self._outc = self._outc[keep]
+        self._start = self._start[keep]
+        self._life = self._life[keep]
+        self._holder = self._holder[keep]
+        self._msgs = [self._msgs[i] for i in keep.tolist()]
+        self._cdirs = self._cdirs[keep]
+        self._cnext = self._cnext[keep]
+        self._cslot = self._cslot[keep]
+        self._cn = self._cn[keep]
+        self._cvalid = self._cvalid[keep]
+        self._cell_count = np.bincount(
+            self._cell, minlength=len(self._cells)
+        ).tolist()

@@ -142,11 +142,20 @@ class ProbeHeader:
     The stack records the path currently held by the probe (for
     backtracking); ``used`` persists across revisits of a node so a
     forwarding direction at a participant node is never used twice.
+    ``trace`` is the probe's full traversal log — every node visited, in
+    order, backtracks included — maintained by :meth:`push` / :meth:`pop`
+    themselves so there is exactly one source of truth for the reported
+    path (scalar probes and the struct-of-arrays table share it).
     """
 
     destination: Coord
     stack: List[Coord] = field(default_factory=list)
     used: Dict[Coord, Set[Direction]] = field(default_factory=dict)
+    trace: List[Coord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.trace and self.stack:
+            self.trace = list(self.stack)
 
     @property
     def current(self) -> Coord:
@@ -183,14 +192,18 @@ class ProbeHeader:
 
     def push(self, node: Sequence[int]) -> None:
         """Advance the probe onto ``node``."""
-        self.stack.append(tuple(node))
+        node = tuple(node)
+        self.stack.append(node)
+        self.trace.append(node)
 
     def pop(self) -> Coord:
         """Backtrack one hop; returns the node the probe retreats to."""
         if len(self.stack) < 2:
             raise RuntimeError("cannot backtrack past the source")
         self.stack.pop()
-        return self.stack[-1]
+        retreat = self.stack[-1]
+        self.trace.append(retreat)
+        return retreat
 
     @property
     def at_source(self) -> bool:
@@ -650,7 +663,6 @@ class RoutingProbe:
         self.destination = mesh.validate(destination)
         self.policy = policy or RoutingPolicy.limited_global()
         self.header = ProbeHeader(destination=self.destination, stack=[self.source])
-        self.path: List[Coord] = [self.source]
         self.forward_hops = 0
         self.backtrack_hops = 0
         self.blocked_hops = 0
@@ -668,6 +680,11 @@ class RoutingProbe:
     def current(self) -> Coord:
         """Node currently holding the probe."""
         return self.header.current
+
+    @property
+    def path(self) -> List[Coord]:
+        """Every node visited so far, in order (the header's traversal log)."""
+        return self.header.trace
 
     @property
     def circuit_stack(self) -> List[Coord]:
@@ -729,9 +746,8 @@ class RoutingProbe:
             if self.header.at_source:
                 self.outcome = RouteOutcome.UNREACHABLE
                 return self.outcome
-            retreat = self.header.pop()
+            self.header.pop()
             self.backtrack_hops += 1
-            self.path.append(retreat)
             return None
         assert isinstance(decision, Direction)
         node = self.header.current
@@ -741,7 +757,6 @@ class RoutingProbe:
             assert nxt is not None
         self.header.push(nxt)
         self.forward_hops += 1
-        self.path.append(nxt)
         if nxt == self.destination:
             self.outcome = RouteOutcome.DELIVERED
         return self.outcome

@@ -214,6 +214,22 @@ class InformationState:
             entry = per_node[key] = resolve_routing_geometry(self.mesh, boundaries, blocks)
         return entry
 
+    def routing_geometry(
+        self,
+        node: Sequence[int],
+        *,
+        use_block_info: bool = True,
+        use_boundary_info: bool = True,
+    ) -> Tuple[Tuple[PrismPair, ...], Tuple[ExtentFrame, ...]]:
+        """The cached ``(detour constraints, extent frames)`` pair at ``node``.
+
+        Both halves of :meth:`detour_constraints` / :meth:`known_extent_frames`
+        in one lookup.  The returned tuples are identity-stable until the
+        node's records change, so callers may cache work derived from them
+        keyed on object identity.
+        """
+        return self._route_entry(tuple(node), use_block_info, use_boundary_info)
+
     def detour_constraints(
         self,
         node: Sequence[int],

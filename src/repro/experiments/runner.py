@@ -138,9 +138,11 @@ def _simulate_scenario(cell: ExperimentCell):
     return mesh, schedule, traffic
 
 
-def _run_simulate_cell(cell: ExperimentCell) -> Dict[str, float]:
+def _build_simulate_sim(cell: ExperimentCell) -> Simulator:
+    """The simulator of one simulate-mode cell (shared with the stacked
+    runner, so both engines construct byte-identical scenarios)."""
     mesh, schedule, traffic = _simulate_scenario(cell)
-    sim = Simulator(
+    return Simulator(
         mesh,
         schedule=schedule,
         traffic=traffic,
@@ -148,7 +150,10 @@ def _run_simulate_cell(cell: ExperimentCell) -> Dict[str, float]:
             lam=cell.lam, router=cell.policy, contention=cell.contention
         ),
     )
-    result = sim.run()
+
+
+def _simulate_metrics(cell: ExperimentCell, result) -> Dict[str, float]:
+    """Metrics row of one finished simulate-mode run."""
     stats = result.stats
     worst = max(
         (c.steps_to_stabilize(cell.lam) for c in stats.convergence), default=0
@@ -157,6 +162,10 @@ def _run_simulate_cell(cell: ExperimentCell) -> Dict[str, float]:
     metrics["worst_steps_to_stabilize"] = float(worst)
     metrics["information_cells"] = float(result.information.information_cells())
     return metrics
+
+
+def _run_simulate_cell(cell: ExperimentCell) -> Dict[str, float]:
+    return _simulate_metrics(cell, _build_simulate_sim(cell).run())
 
 
 def _run_throughput_cell(cell: ExperimentCell) -> Dict[str, float]:
@@ -198,6 +207,7 @@ def run_batch(
     spec: ExperimentSpec,
     *,
     workers: int = 1,
+    engine: str = "serial",
     on_cell_done: Optional[Callable[[CellResult], None]] = None,
 ) -> BatchResult:
     """Run every cell of ``spec`` and collect the results in grid order.
@@ -205,9 +215,21 @@ def run_batch(
     ``workers > 1`` distributes cells over that many processes; because each
     cell reseeds from its own deterministic ``cell_seed``, the outcome —
     including the canonical JSON export — is identical for every worker
-    count.  ``on_cell_done`` (serial-friendly progress hook) is invoked with
-    each finished result, in completion order.
+    count.  ``engine="stacked"`` instead steps all probe-table-eligible
+    simulate-mode cells of one mesh shape together on a shared
+    :class:`~repro.core.probe_table.ProbeTable` (single-process; results
+    stay byte-identical to the serial runner).  ``on_cell_done``
+    (serial-friendly progress hook) is invoked with each finished result,
+    in completion order.
     """
+    if engine == "stacked":
+        if workers > 1:
+            raise ValueError("engine='stacked' is single-process (workers=1)")
+        from repro.experiments.stacked import run_batch_stacked
+
+        return run_batch_stacked(spec, on_cell_done=on_cell_done)
+    if engine != "serial":
+        raise ValueError(f"unknown batch engine {engine!r}")
     cells = spec.cells()
     results: List[CellResult] = []
     if workers <= 1:

@@ -1,0 +1,125 @@
+"""Stacked multi-cell execution: same-shape sweep cells step together.
+
+A sweep grid usually varies seed, fault count, policy or traffic over one
+mesh shape.  The serial runner steps each cell's simulator to completion
+alone, so every simulation step pays the fixed numpy dispatch cost of the
+vectorized classification on a handful of in-flight probes.  The stacked
+engine instead joins every probe-table-eligible simulate-mode cell of one
+shape onto a shared :class:`~repro.core.probe_table.ProbeTable` and runs
+the group in lockstep: one classification pass per step covers all cells'
+probes, amortizing the fixed cost across the whole group.
+
+Results are byte-identical to the serial runner's.  Cells stay fully
+independent — each keeps its own information state, traffic source,
+statistics and circuit ledger — and the shared classification is a pure
+per-row function, so stacking changes *where* rows are classified, never
+what any cell observes.  Cells the probe table cannot host (scalar
+backend, non-Algorithm routers, throughput/offline modes) fall back to the
+serial path, cell by cell.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.probe_table import ProbeTable
+from repro.experiments.results import BatchResult, CellResult
+from repro.experiments.spec import ExperimentCell, ExperimentSpec
+
+if False:  # pragma: no cover - import cycle guard for annotations
+    from repro.simulator.engine import Simulator
+
+#: One stacked-group member: grid position, cell, its joined simulator.
+_Member = Tuple[int, ExperimentCell, "Simulator"]
+
+
+def _run_group(
+    table: ProbeTable,
+    members: List[_Member],
+    results: List[Optional[CellResult]],
+    on_cell_done: Optional[Callable[[CellResult], None]],
+) -> None:
+    """Step one shape group in lockstep until every member drains.
+
+    Every active member executes exactly the serial step sequence —
+    information phases per simulator, then one shared
+    :meth:`ProbeTable.run_step` over all active cells — so each member's
+    step ``t`` is indistinguishable from its solo run.  Members that drain
+    (or hit their step budget) finalize immediately through
+    :meth:`Simulator.run`, which executes zero further steps and flushes.
+    """
+    from repro.experiments.runner import _simulate_metrics
+
+    active = members
+    t = 0
+    while active:
+        stepping: List[_Member] = []
+        for item in active:
+            index, cell, sim = item
+            if sim._step < sim.config.max_steps and sim._work_remaining():
+                stepping.append(item)
+            else:
+                result = CellResult(
+                    cell=cell, metrics=_simulate_metrics(cell, sim.run())
+                )
+                results[index] = result
+                if on_cell_done is not None:
+                    on_cell_done(result)
+        active = stepping
+        if not stepping:
+            break
+        for _, _, sim in stepping:
+            sim._step_information(t)
+        table.run_step(t, tuple(sim._table_cell for _, _, sim in stepping))
+        for _, _, sim in stepping:
+            sim._step += 1
+            sim.stats.steps = sim._step
+        t += 1
+
+
+def run_batch_stacked(
+    spec: ExperimentSpec,
+    *,
+    on_cell_done: Optional[Callable[[CellResult], None]] = None,
+) -> BatchResult:
+    """Run ``spec`` with same-shape simulate cells stacked on shared tables.
+
+    The drop-in single-process alternative to the serial
+    :func:`~repro.experiments.runner.run_batch` loop (reachable there via
+    ``engine="stacked"``): identical results in grid order, with
+    ``on_cell_done`` fired in completion order.
+    """
+    from repro.experiments.runner import _build_simulate_sim, run_cell
+
+    cells = spec.cells()
+    results: List[Optional[CellResult]] = [None] * len(cells)
+    groups: Dict[Tuple[int, ...], List[_Member]] = {}
+    for index, cell in enumerate(cells):
+        if cell.mode != "simulate":
+            result = run_cell(cell)
+            results[index] = result
+            if on_cell_done is not None:
+                on_cell_done(result)
+            continue
+        sim = _build_simulate_sim(cell)
+        if sim._table is None:
+            # Not probe-table eligible: run this simulator to completion
+            # alone (same construction path as the serial runner).
+            from repro.experiments.runner import _simulate_metrics
+
+            result = CellResult(
+                cell=cell, metrics=_simulate_metrics(cell, sim.run())
+            )
+            results[index] = result
+            if on_cell_done is not None:
+                on_cell_done(result)
+            continue
+        groups.setdefault(cell.shape, []).append((index, cell, sim))
+
+    for members in groups.values():
+        table = ProbeTable(members[0][2].mesh)
+        for _, _, sim in members:
+            sim._join_table(table)
+        _run_group(table, members, results, on_cell_done)
+
+    return BatchResult(spec=spec, results=tuple(results))  # type: ignore[arg-type]

@@ -263,6 +263,37 @@ class Mesh:
         return table
 
     @property
+    def link_slot_table(self):
+        """Memoized per-direction link-slot table, shape ``(size, 2n)`` int32.
+
+        Entry ``[i, j]`` is the canonical link slot (:meth:`link_index`) of
+        the link from node ``i`` to its neighbor in ``self.directions[j]``,
+        or ``-1`` off-mesh.  With it the struct-of-arrays probe engine turns
+        every reserve/release into one table read instead of an endpoint-pair
+        lookup.
+        """
+        try:
+            return self._link_slot_table
+        except AttributeError:
+            pass
+        import numpy as np
+
+        n = self.n_dims
+        neighbors = self.neighbor_table
+        idx = np.arange(self.size, dtype=np.int64)
+        table = np.full((self.size, 2 * n), -1, dtype=np.int32)
+        for d in range(n):
+            # Negative side: the neighbor is the lower endpoint of the link.
+            has_minus = neighbors[:, d] >= 0
+            table[has_minus, d] = neighbors[has_minus, d].astype(np.int64) * n + d
+            # Positive side: this node is the lower endpoint.
+            has_plus = neighbors[:, d + n] >= 0
+            table[has_plus, d + n] = idx[has_plus] * n + d
+        table.setflags(write=False)
+        object.__setattr__(self, "_link_slot_table", table)
+        return table
+
+    @property
     def link_slots(self) -> int:
         """Size of the flat canonical-link index space (``size * n_dims``).
 

@@ -370,6 +370,11 @@ class ArrayCircuitLedger:
         #: clearing itself is the vectorized column sweep.
         self._expiries: List[Tuple[int, int]] = []
         self._reserved_count = 0
+        #: Bumped whenever a link transitions held -> free.  A probe waiting
+        #: on an all-blocked candidate list can only be unblocked by such a
+        #: transition (reserves only ever block more), so the probe engine
+        #: parks waiters and skips their re-scan while the epoch is unchanged.
+        self._epoch = 0
 
     def blocked_for(self, holder: int):
         """The :data:`~repro.core.routing.LinkBlocked` predicate of ``holder``.
@@ -401,11 +406,19 @@ class ArrayCircuitLedger:
 
     def reserve_link(self, holder: int, u: Coord, v: Coord) -> None:
         """Reserve the ``u``–``v`` link for ``holder`` (one forward hop)."""
-        index = self.mesh.link_index(u, v)
+        self.reserve_slot(holder, self.mesh.link_index(u, v))
+
+    def reserve_slot(self, holder: int, index: int) -> None:
+        """:meth:`reserve_link` by precomputed canonical link slot.
+
+        The struct-of-arrays probe engine carries each candidate's slot
+        through its tables, so the per-hop reserve needs no endpoint-pair
+        lookup at all.
+        """
         owner = self._holder[index]
         if owner >= 0 and owner != holder:
             raise ReservationError(
-                f"link {canonical_link(u, v)} is held by {owner}, "
+                f"link {self.mesh.link_of_index(index)} is held by {owner}, "
                 f"cannot be taken by {holder}"
             )
         if owner < 0:
@@ -414,9 +427,8 @@ class ArrayCircuitLedger:
         self._held.setdefault(holder, set()).add(index)
         self._refcount[index] += 1
 
-    def release_link(self, holder: int, u: Coord, v: Coord) -> None:
-        """Release one traversal of the ``u``–``v`` link (one backtrack)."""
-        index = self.mesh.link_index(u, v)
+    def release_slot(self, holder: int, index: int) -> None:
+        """:meth:`release_link` by precomputed canonical link slot."""
         held = self._held.get(holder)
         if held is None or index not in held:
             return
@@ -428,8 +440,13 @@ class ArrayCircuitLedger:
             if self._holder[index] == holder:
                 self._holder[index] = -1
                 self._reserved_count -= 1
+                self._epoch += 1
             if not held:
                 del self._held[holder]
+
+    def release_link(self, holder: int, u: Coord, v: Coord) -> None:
+        """Release one traversal of the ``u``–``v`` link (one backtrack)."""
+        self.release_slot(holder, self.mesh.link_index(u, v))
 
     def sync(self, holder: int, stack: Sequence[Coord]) -> None:
         """Make ``holder``'s reservation exactly the links along ``stack``."""
@@ -443,6 +460,7 @@ class ArrayCircuitLedger:
             if self._holder[index] == holder:
                 self._holder[index] = -1
                 self._reserved_count -= 1
+                self._epoch += 1
             self._refcount[index] = 0
             self._release[index] = -1
         for index in counts.keys() - held:
@@ -469,6 +487,7 @@ class ArrayCircuitLedger:
                 self._refcount[index] = 0
                 self._release[index] = -1
                 self._reserved_count -= 1
+                self._epoch += 1
 
     def hold_until(self, holder: int, release_step: int) -> None:
         """Keep ``holder``'s current links reserved until ``release_step``."""
@@ -489,6 +508,7 @@ class ArrayCircuitLedger:
                 if self._holder[index] >= 0:
                     self._holder[index] = -1
                     self._reserved_count -= 1
+                    self._epoch += 1
                 self._refcount[index] = 0
             self._release[due] = -1
         released = 0

@@ -25,7 +25,7 @@ detour statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.backend import VECTOR, resolve_backend
 from repro.core.block_construction import extract_blocks, labeling_round
@@ -45,11 +45,15 @@ from repro.core.state import InformationState
 from repro.faults.schedule import DynamicFaultSchedule, FaultEventKind
 from repro.mesh.regions import Region
 from repro.mesh.topology import Mesh
-from repro.pcs.circuit import Circuit, CircuitLedger, make_live_ledger
+from repro.pcs.circuit import ArrayCircuitLedger, Circuit, CircuitLedger, make_live_ledger
 from repro.pcs.transfer import TransferModel
 from repro.routing import AlgorithmRouter, Router, SetupProbe, resolve_router
 from repro.simulator.stats import ConvergenceRecord, MessageRecord, SimulationStats
 from repro.simulator.traffic import BatchSource, TrafficMessage, TrafficSource
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (cycle guard)
+    from repro.core.probe_table import ProbeTable
+    from repro.core.routing import RouteResult
 
 Coord = Tuple[int, ...]
 
@@ -241,6 +245,29 @@ class Simulator:
             self.schedule.events[-1].time if self.schedule.events else -1
         )
 
+        #: Struct-of-arrays probe engine: when the whole message phase is
+        #: expressible as flat-column passes (plain Algorithm-3 probes, the
+        #: vector decision engine available, an array-backed ledger when
+        #: contended), probes live as rows of a :class:`ProbeTable` and
+        #: ``step`` never builds a probe object.  Decisions, paths and stats
+        #: are byte-identical to the per-object path (the parity suite holds
+        #: the two to that); anything else — scalar backend, the
+        #: static-block/global-information routers, >16-dimensional meshes —
+        #: keeps the object path.
+        self._table: Optional["ProbeTable"] = None
+        self._table_cell = -1
+        if (
+            self._decision_cache is not None
+            and type(self.router) is AlgorithmRouter
+            and 2 * mesh.n_dims <= 32
+            and (self.circuits is None or isinstance(self.circuits, ArrayCircuitLedger))
+            and self._decision_cache._engine() is not None
+        ):
+            from repro.core.probe_table import ProbeTable
+
+            self._table = ProbeTable(mesh)
+            self._table_cell = self._table.attach(self)
+
         if self.config.preconverge_initial_faults and self.schedule.initial_faults:
             self._preconverge()
 
@@ -326,7 +353,16 @@ class Simulator:
     def step(self) -> None:
         """Execute one full simulation step (Figure 7 (a))."""
         t = self._step
+        self._step_information(t)
+        if self._table is not None:
+            self._table.run_step(t, (self._table_cell,))
+        else:
+            self._step_messages(t)
+        self._step += 1
+        self.stats.steps = self._step
 
+    def _step_information(self, t: int) -> None:
+        """Phases 1–2 of step ``t``: fault detection + λ information rounds."""
         # 1. fault detection -------------------------------------------------
         for event in self.schedule.events_at(t):
             if event.kind is FaultEventKind.FAULT:
@@ -371,6 +407,13 @@ class Simulator:
                     r for r in self._pending_convergence if r.stabilized_step is None
                 ]
 
+    def _step_messages(self, t: int) -> None:
+        """Phase 3 of step ``t``, per-probe-object path (the parity oracle).
+
+        Eligible configurations route through the struct-of-arrays
+        :class:`~repro.core.probe_table.ProbeTable` instead (see
+        ``_table``); decisions and statistics are byte-identical.
+        """
         # 3. message injection, reception, routing decision, sending ---------
         ledger = self.circuits
         for message in self._source.poll(t):
@@ -452,9 +495,6 @@ class Simulator:
         self._wait_carryover = wait_carry
         if ledger is not None:
             self.stats.record_occupancy(ledger.reserved_links)
-
-        self._step += 1
-        self.stats.steps = self._step
 
     def _batch_decisions(self) -> Optional[List[object]]:
         """Precompute this step's candidate lists for every batchable probe.
@@ -554,19 +594,46 @@ class Simulator:
         self.stats.timeout_releases += getattr(probe, "timeout_releases", 0)
         return record
 
+    def _finish_table_row(
+        self, message: TrafficMessage, result: "RouteResult", *, finish_step: Optional[int]
+    ) -> MessageRecord:
+        """Record one finished :class:`ProbeTable` row's message statistics."""
+        record = MessageRecord(message=message, result=result, finish_step=finish_step)
+        self.stats.messages.append(record)
+        return record
+
+    def _join_table(self, table: "ProbeTable") -> int:
+        """Re-home this simulator's probes onto a shared multi-cell table.
+
+        The stacked sweep runner calls this before step 0 so several
+        same-shape simulators step their message phases in one table pass.
+        """
+        if self._table is None:
+            raise ValueError("simulator configuration is not probe-table eligible")
+        if self._step != 0 or self._table.cell_rows(self._table_cell):
+            raise ValueError("cannot join a shared probe table after stepping")
+        self._table = table
+        self._table_cell = table.attach(self)
+        return self._table_cell
+
     @property
     def in_flight(self) -> int:
         """Number of probes currently in flight."""
+        if self._table is not None:
+            return self._table.cell_rows(self._table_cell)
         return len(self._probes)
 
     @property
     def pending_messages(self) -> Tuple[TrafficMessage, ...]:
         """Messages whose probes are still in flight."""
+        if self._table is not None:
+            return self._table.cell_messages(self._table_cell)
         return tuple(entry[0] for entry in self._probes)
 
     def _work_remaining(self) -> bool:
         return bool(
             self._probes
+            or (self._table is not None and self._table.cell_rows(self._table_cell))
             or self._pending_convergence
             or self._identifications
             or self._boundaries
@@ -584,6 +651,8 @@ class Simulator:
         ):
             self.step()
         # Flush probes still in flight when the step budget ran out.
+        if self._table is not None:
+            self._table.flush_cell(self._table_cell)
         for message, probe, holder, _blocked, _cacheable in self._probes:
             self._finish_probe(message, probe, finish_step=None)
             if self.circuits is not None:
