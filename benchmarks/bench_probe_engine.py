@@ -98,7 +98,10 @@ def test_probe_table_parity_contended():
 def test_stacked_sweep_parity_json():
     """Parity gate: stacked and serial sweeps export identical JSON."""
     spec = _sweep_spec(8)
-    assert run_batch(spec, engine="stacked").to_json() == run_batch(spec).to_json()
+    assert (
+        run_batch(spec, engine="stacked").to_json()
+        == run_batch(spec, engine="serial").to_json()
+    )
 
 
 def test_bench_probe_table_step(benchmark):
@@ -129,7 +132,7 @@ def test_bench_sweep_stacked(benchmark):
 def test_bench_sweep_serial(benchmark):
     """The same 12-cell sweep, one cell at a time (single process)."""
     spec = _sweep_spec(12)
-    batch = benchmark(lambda: run_batch(spec))
+    batch = benchmark(lambda: run_batch(spec, engine="serial"))
     print(f"\nserial sweep:  {len(batch.results)} cells")
 
 
@@ -144,7 +147,7 @@ def test_probe_speedup_table():
         timings[name] = time.perf_counter() - start
     spec = _sweep_spec(48)
     sweeps = {}
-    for name, run in (("serial", lambda: run_batch(spec)),
+    for name, run in (("serial", lambda: run_batch(spec, engine="serial")),
                       ("stacked", lambda: run_batch(spec, engine="stacked"))):
         run()  # warm caches
         start = time.perf_counter()

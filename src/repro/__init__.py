@@ -70,7 +70,7 @@ from repro.routing import (
 )
 from repro.simulator import SimulationConfig, SimulationResult, Simulator
 
-__version__ = "1.0.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "BlockConstructionResult",

@@ -38,7 +38,7 @@ from repro.analysis.throughput import throughput_rows
 from repro.backend import ENV_VAR as BACKEND_ENV_VAR
 from repro.backend import available_backends, resolve_backend
 from repro.core.block_construction import build_blocks
-from repro.experiments import MODES, ExperimentSpec, run_batch
+from repro.experiments import ENGINES, MODES, ExperimentSpec, ResultCache, run_batch
 from repro.faults.injection import uniform_random_faults
 from repro.mesh.topology import Mesh
 from repro.routing import available_routers, resolve_router
@@ -259,11 +259,33 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=1, help="worker processes (1 = serial)")
     sweep.add_argument(
         "--engine",
-        choices=("serial", "stacked"),
-        default="serial",
-        help="cell execution engine: one-cell-at-a-time, or same-shape "
-        "simulate cells stepped together on a shared probe table "
-        "(single-process, byte-identical results)",
+        choices=ENGINES,
+        default="auto",
+        help="cell execution engine: 'auto' (default) shards same-shape "
+        "stacked probe-table groups and serial chunks across the workers; "
+        "'serial' runs one cell at a time; 'stacked' forces the lockstep "
+        "probe-table engine — all three emit byte-identical JSON",
+    )
+    cache_group = sweep.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--cache", action="store_true",
+        help="serve cells from the content-addressed result cache and "
+        "persist misses as they land (keyed by cell parameters, seed, "
+        "backend and package version)",
+    )
+    cache_group.add_argument(
+        "--no-cache", action="store_true",
+        help="force the cache off even when --cache-dir/--resume is given",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None,
+        help="result-cache directory (implies --cache; default "
+        "$REPRO_CACHE_DIR or ~/.cache/repro-mesh)",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted sweep: alias for --cache — completed "
+        "cells are read back from the cache, only missing cells run",
     )
     sweep.add_argument("--name", default="sweep", help="spec name (seeds the cell derivation)")
     sweep.add_argument("--out", default=None, help="write JSON here instead of stdout")
@@ -466,12 +488,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc))
+    cache = None
+    if (args.cache or args.resume or args.cache_dir is not None) and not args.no_cache:
+        cache = (
+            ResultCache(args.cache_dir) if args.cache_dir is not None else ResultCache()
+        )
     print(
         f"sweep {spec.name!r}: {spec.cell_count} cells, mode={spec.mode}, "
-        f"engine={args.engine}, workers={max(args.workers, 1)}",
+        f"engine={args.engine}, workers={max(args.workers, 1)}"
+        + (f", cache={cache.root}" if cache is not None else ""),
         file=sys.stderr,
     )
-    batch = run_batch(spec, workers=args.workers, engine=args.engine)
+    batch = run_batch(spec, workers=args.workers, engine=args.engine, cache=cache)
+    if cache is not None:
+        stats = cache.stats
+        print(
+            f"cache: {stats.hits} hits / {stats.lookups} lookups "
+            f"({stats.hit_rate:.0%}), {stats.writes} written, "
+            f"{stats.invalid} invalid entries recomputed",
+            file=sys.stderr,
+        )
     payload = batch.to_json()
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:

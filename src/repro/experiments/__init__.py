@@ -1,4 +1,4 @@
-"""Experiment orchestration: declarative grids, parallel runs, aggregation.
+"""Experiment orchestration: declarative grids, sharded runs, caching.
 
 The subsystem sits above the per-probe algorithms and the simulator, so
 whole fleets of scenarios can be swept, compared and persisted uniformly:
@@ -7,9 +7,16 @@ whole fleets of scenarios can be swept, compared and persisted uniformly:
   grid over mesh shapes, fault counts/intervals, λ, routing policies,
   traffic sizes and seeds, expanded into deterministic
   :class:`ExperimentCell` items;
-* :mod:`repro.experiments.runner` — :func:`run_batch`, fanning the grid out
-  across processes with per-cell deterministic seeding (serial and parallel
-  runs produce identical results);
+* :mod:`repro.experiments.runner` — :func:`run_batch`, executing the grid
+  through the serial, stacked or auto-sharded engine, fanning shards out
+  across a persistent process pool with per-cell deterministic seeding
+  (every engine and worker count produces identical results);
+* :mod:`repro.experiments.shard` — the planner partitioning cells by
+  (shape, probe-table eligibility, mode) into dispatchable
+  :class:`Shard` units;
+* :mod:`repro.experiments.cache` — :class:`ResultCache`, the
+  content-addressed on-disk result store that makes repeated and
+  overlapping sweeps cost only cache reads;
 * :mod:`repro.experiments.results` — :class:`BatchResult`, aggregating
   per-cell metrics with canonical JSON export and pivot-table helpers.
 
@@ -17,8 +24,10 @@ The ``repro-mesh sweep`` CLI subcommand, the comparison benchmarks and
 ``examples/policy_comparison.py`` all route through this package.
 """
 
+from repro.experiments.cache import CacheStats, ResultCache, cell_fingerprint
 from repro.experiments.results import BatchResult, CellResult
-from repro.experiments.runner import run_batch, run_cell
+from repro.experiments.runner import ENGINES, run_batch, run_cell, shutdown_pool
+from repro.experiments.shard import Shard, plan_shards, probe_table_eligible
 from repro.experiments.spec import (
     MODES,
     OFFLINE_POLICIES,
@@ -30,13 +39,21 @@ from repro.experiments.spec import (
 
 __all__ = [
     "BatchResult",
+    "CacheStats",
     "CellResult",
+    "ENGINES",
     "ExperimentCell",
     "ExperimentSpec",
     "MODES",
     "OFFLINE_POLICIES",
+    "ResultCache",
     "SIMULATE_POLICIES",
+    "Shard",
+    "cell_fingerprint",
     "derive_cell_seed",
+    "plan_shards",
+    "probe_table_eligible",
     "run_batch",
     "run_cell",
+    "shutdown_pool",
 ]

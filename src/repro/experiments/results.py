@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.spec import ExperimentCell, ExperimentSpec
 
@@ -61,6 +61,25 @@ class BatchResult:
 
     def __len__(self) -> int:
         return len(self.results)
+
+    @classmethod
+    def assemble(
+        cls, spec: ExperimentSpec, results: Sequence[Optional[CellResult]]
+    ) -> "BatchResult":
+        """Build a batch from sparse per-index results, validating coverage.
+
+        The sharded/cached executor lands results out of order into an
+        index-addressed list (cache hits first, then shard completions);
+        assembling through here turns a scheduling bug — a cell that never
+        landed — into a loud error instead of a ``None`` buried in a tuple.
+        """
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:
+            raise ValueError(
+                f"batch incomplete: {len(missing)} of {len(results)} cells "
+                f"never produced a result (first missing index {missing[0]})"
+            )
+        return cls(spec=spec, results=tuple(results))  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------ #
     # export

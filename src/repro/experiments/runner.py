@@ -1,27 +1,54 @@
-"""Execution of experiment grids, serially or across processes.
+"""Execution of experiment grids: serial, stacked, sharded and cached.
 
 :func:`run_cell` turns one :class:`~repro.experiments.spec.ExperimentCell`
 into a :class:`~repro.experiments.results.CellResult`; :func:`run_batch`
-fans a whole grid out over a :class:`concurrent.futures.ProcessPoolExecutor`
-(``workers > 1``) or runs it inline (``workers <= 1``).
+runs a whole grid through one of three engines:
+
+* ``engine="serial"`` — one cell at a time; ``workers > 1`` fans chunks of
+  cells out over a process pool and fires the progress hook in completion
+  order (results stay in grid order);
+* ``engine="stacked"`` — same-shape probe-table-eligible simulate cells
+  step in lockstep on shared :class:`~repro.core.probe_table.ProbeTable`
+  groups (see :mod:`repro.experiments.stacked`);
+* ``engine="auto"`` (the default) — the composition of both: the planner
+  (:mod:`repro.experiments.shard`) partitions cells into stacked and
+  serial shards and dispatches them across a *persistent*
+  :class:`~concurrent.futures.ProcessPoolExecutor`, so ``workers=4`` runs
+  four stacked groups concurrently instead of choosing between the two
+  fast paths.
 
 Every cell is self-contained and rebuilds its scenario from primitive cell
 parameters plus the deterministic ``cell_seed``, so cells are cheap to
 pickle, workers need no shared state, and a batch produces **identical
-results for any worker count** — the JSON export of a serial run and a
-4-worker run are byte-for-byte equal.
+results for any worker count and any engine** — the JSON export of a
+serial run, a 4-worker run and an auto-sharded run are byte-for-byte
+equal.
+
+Passing a :class:`~repro.experiments.cache.ResultCache` makes repeated
+work free: cells whose fingerprint is already on disk skip simulation
+entirely, and misses are persisted atomically as each result lands, so an
+interrupted sweep resumes from its cache and overlapping sweeps cost only
+cache reads.  The cache never appears in the exported JSON — cold and
+warm runs serialize byte-identically.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, List, Optional, Tuple
+import atexit
+import os
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from math import ceil
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.metrics import summarize_routes
+from repro.backend import ENV_VAR as BACKEND_ENV_VAR
+from repro.backend import resolve_backend
 from repro.core.block_construction import build_blocks
+from repro.experiments.cache import ResultCache
 from repro.experiments.results import BatchResult, CellResult
+from repro.experiments.shard import SERIAL_CHUNKS_PER_WORKER, Shard, plan_shards
 from repro.experiments.spec import ExperimentCell, ExperimentSpec
 from repro.faults.injection import clustered_faults, dynamic_schedule, uniform_random_faults
 from repro.mesh.topology import Mesh
@@ -35,6 +62,9 @@ from repro.workloads.congestion import (
 from repro.workloads.traffic import random_pairs, to_traffic
 
 Coord = Tuple[int, ...]
+
+#: Engines :func:`run_batch` accepts.
+ENGINES = ("auto", "serial", "stacked")
 
 
 def _offline_faults(
@@ -203,45 +233,174 @@ def run_cell(cell: ExperimentCell) -> CellResult:
     return CellResult(cell=cell, metrics=metrics)
 
 
+# ---------------------------------------------------------------------- #
+# worker-side entry points (top-level so they pickle)
+# ---------------------------------------------------------------------- #
+def _execute_shard(
+    shard: Shard, backend: Optional[str] = None
+) -> List[Tuple[int, CellResult]]:
+    """Run one shard to completion; the unit a pool worker executes.
+
+    ``backend`` pins the worker's hot-loop backend explicitly: the pool is
+    persistent, so a worker forked under an old ``REPRO_BACKEND`` would
+    otherwise keep computing with it after the parent changed its mind.
+    """
+    if backend is not None:
+        os.environ[BACKEND_ENV_VAR] = backend
+    if shard.kind == "stacked":
+        from repro.experiments.stacked import run_cells_stacked
+
+        return run_cells_stacked(shard.cells)
+    return [(index, run_cell(cell)) for index, cell in shard.cells]
+
+
+# ---------------------------------------------------------------------- #
+# persistent worker pool
+# ---------------------------------------------------------------------- #
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+
+
+def _shared_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared executor, (re)built only when the size changes.
+
+    Keeping the pool alive across :func:`run_batch` calls is what makes a
+    sweep *service* cheap: repeated and overlapping sweeps reuse warm
+    worker processes instead of paying interpreter + import start-up per
+    batch.
+    """
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS != workers:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+    if _POOL is None:
+        _POOL = ProcessPoolExecutor(max_workers=workers)
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent worker pool (idempotent; re-created on use)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def _dispatch_shards(
+    shards: Sequence[Shard],
+    workers: int,
+    land: Callable[[int, CellResult], None],
+) -> None:
+    """Run shards across the persistent pool, landing cells as shards finish.
+
+    Completion-order delivery: ``wait(FIRST_COMPLETED)`` over shard
+    futures, so the progress hook never stalls behind the slowest early
+    shard the way ``pool.map``'s submission-order iteration did.  A broken
+    pool (a worker died) is discarded so the next batch starts clean.
+    """
+    # Cap the pool at the work available: a 2-cell spec with workers=8
+    # should not spawn 8 processes.
+    workers = min(workers, len(shards))
+    pool = _shared_pool(workers)
+    backend = resolve_backend()
+    try:
+        futures: Dict[Future, Shard] = {
+            pool.submit(_execute_shard, shard, backend): shard for shard in shards
+        }
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                for index, result in future.result():
+                    land(index, result)
+    except BaseException:
+        shutdown_pool()
+        raise
+
+
+def _run_serial_engine(
+    pending: Sequence[Tuple[int, ExperimentCell]],
+    workers: int,
+    land: Callable[[int, CellResult], None],
+) -> None:
+    """The ``engine="serial"`` path: per-cell execution, optionally fanned
+    out as explicitly chunked serial shards (no stacking)."""
+    if workers <= 1:
+        for index, cell in pending:
+            land(index, run_cell(cell))
+        return
+    # Explicit chunk size: amortize per-dispatch pickling without letting
+    # one slow cell hold a whole worker's share hostage.
+    chunksize = max(1, ceil(len(pending) / (workers * SERIAL_CHUNKS_PER_WORKER)))
+    shards = [
+        Shard(kind="serial", cells=tuple(pending[start:start + chunksize]))
+        for start in range(0, len(pending), chunksize)
+    ]
+    _dispatch_shards(shards, workers, land)
+
+
 def run_batch(
     spec: ExperimentSpec,
     *,
     workers: int = 1,
-    engine: str = "serial",
+    engine: str = "auto",
+    cache: Optional[ResultCache] = None,
     on_cell_done: Optional[Callable[[CellResult], None]] = None,
 ) -> BatchResult:
     """Run every cell of ``spec`` and collect the results in grid order.
 
-    ``workers > 1`` distributes cells over that many processes; because each
-    cell reseeds from its own deterministic ``cell_seed``, the outcome —
-    including the canonical JSON export — is identical for every worker
-    count.  ``engine="stacked"`` instead steps all probe-table-eligible
-    simulate-mode cells of one mesh shape together on a shared
-    :class:`~repro.core.probe_table.ProbeTable` (single-process; results
-    stay byte-identical to the serial runner).  ``on_cell_done``
-    (serial-friendly progress hook) is invoked with each finished result,
-    in completion order.
-    """
-    if engine == "stacked":
-        if workers > 1:
-            raise ValueError("engine='stacked' is single-process (workers=1)")
-        from repro.experiments.stacked import run_batch_stacked
+    ``engine`` selects the execution strategy (see module docstring):
+    ``"auto"`` shards stacked groups and serial chunks across ``workers``
+    processes, ``"serial"`` runs cell-at-a-time (chunked across workers),
+    ``"stacked"`` forces the lockstep probe-table engine — with
+    ``workers > 1`` stacked shards are dispatched across the pool, so the
+    historic single-process restriction is gone.  Because each cell
+    reseeds from its own deterministic ``cell_seed``, the outcome —
+    including the canonical JSON export — is identical for every engine
+    and worker count.
 
-        return run_batch_stacked(spec, on_cell_done=on_cell_done)
-    if engine != "serial":
-        raise ValueError(f"unknown batch engine {engine!r}")
+    ``cache`` (a :class:`~repro.experiments.cache.ResultCache`) serves
+    fingerprint hits without running anything and persists each miss as it
+    lands.  ``on_cell_done`` is invoked with every finished result in
+    completion order (cache hits first).
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown batch engine {engine!r} (choose from {ENGINES})")
     cells = spec.cells()
-    results: List[CellResult] = []
-    if workers <= 1:
-        for cell in cells:
-            result = run_cell(cell)
-            if on_cell_done is not None:
-                on_cell_done(result)
-            results.append(result)
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for result in pool.map(run_cell, cells):
-                if on_cell_done is not None:
-                    on_cell_done(result)
-                results.append(result)
-    return BatchResult(spec=spec, results=tuple(results))
+    results: List[Optional[CellResult]] = [None] * len(cells)
+
+    def land(index: int, result: CellResult, *, fresh: bool = True) -> None:
+        if fresh and cache is not None:
+            cache.put(result.cell, result.metrics)
+        results[index] = result
+        if on_cell_done is not None:
+            on_cell_done(result)
+
+    pending: List[Tuple[int, ExperimentCell]] = []
+    for index, cell in enumerate(cells):
+        if cache is not None:
+            metrics = cache.get(cell)
+            if metrics is not None:
+                land(index, CellResult(cell=cell, metrics=metrics), fresh=False)
+                continue
+        pending.append((index, cell))
+
+    if pending:
+        if engine == "serial":
+            _run_serial_engine(pending, workers, land)
+        elif workers <= 1:
+            # auto/stacked, single process: stack eligible cells in-process
+            # (one lockstep group per shape), everything else serially.
+            from repro.experiments.stacked import run_cells_stacked
+
+            run_cells_stacked(pending, on_result=land)
+        else:
+            shards = plan_shards(pending, workers=workers)
+            _dispatch_shards(shards, workers, land)
+
+    return BatchResult.assemble(spec, results)

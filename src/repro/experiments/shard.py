@@ -1,0 +1,132 @@
+"""Shard planning: partition a sweep's cells into dispatchable units.
+
+The two fast paths of the runner used to be mutually exclusive: the
+stacked probe-table engine (all same-shape eligible cells stepped in
+lockstep, ~3x on contended sweeps) was pinned to a single process, while
+``workers > 1`` pickled cells one at a time through ``pool.map``.  The
+planner here makes them compose.  It partitions a grid's cells by
+(mesh shape, probe-table eligibility, mode) into :class:`Shard` units:
+
+* **stacked shards** — probe-table-eligible simulate cells of one shape,
+  run as one lockstep group on a shared
+  :class:`~repro.core.probe_table.ProbeTable`.  A large group is *split*
+  into up to ``workers`` sub-shards so a contended 96-cell same-shape
+  sweep saturates the whole pool; stacking is a pure per-row
+  amortization, so membership never changes any cell's result.
+* **serial shards** — everything else (offline/throughput cells,
+  ineligible policies, scalar backend), chunked with an explicit chunk
+  size so per-cell dispatch overhead is amortized and tiny specs don't
+  fan out one pickle per cell.
+
+Eligibility here is a *prediction* used only for grouping: the stacked
+executor re-checks per simulator (``sim._table is None``) and falls back
+cell by cell, so a mismatch costs locality, never correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.backend import VECTOR, resolve_backend
+from repro.experiments.spec import ExperimentCell
+from repro.routing import AlgorithmRouter, resolve_router
+
+#: One (grid index, cell) work item.
+IndexedCell = Tuple[int, ExperimentCell]
+
+#: Don't split a stacked group below this many cells per sub-shard: the
+#: stacking win comes from amortizing the per-step vectorized pass over
+#: many cells, so two 2-cell shards are slower than one 4-cell shard.
+MIN_STACKED_SHARD = 4
+
+#: Serial cells are chunked into about this many shards per worker, which
+#: balances load (a slow cell only stalls its own chunk) against per-chunk
+#: pickling overhead.
+SERIAL_CHUNKS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One dispatchable unit of sweep work.
+
+    ``kind`` is ``"stacked"`` (same-shape probe-table lockstep group) or
+    ``"serial"`` (cells run one at a time).  Shards are picklable and
+    self-contained, so they travel to pool workers as-is.
+    """
+
+    kind: str
+    cells: Tuple[IndexedCell, ...]
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+def probe_table_eligible(cell: ExperimentCell, *, backend: Optional[str] = None) -> bool:
+    """Predict whether ``cell``'s simulator will engage the probe table.
+
+    Mirrors the gate in :class:`~repro.simulator.engine.Simulator`: a
+    simulate-mode cell, an Algorithm-3 router (the registry's
+    ``AlgorithmRouter`` policies), the vector backend (decision engine +
+    array ledger), and a direction bitmask that fits 32 bits.
+    """
+    if cell.mode != "simulate":
+        return False
+    if resolve_backend(backend) != VECTOR:
+        return False
+    if 2 * len(cell.shape) > 32:
+        return False
+    return type(resolve_router(cell.policy)) is AlgorithmRouter
+
+
+def _split(items: Sequence[IndexedCell], n_shards: int) -> List[Tuple[IndexedCell, ...]]:
+    """Split ``items`` into ``n_shards`` contiguous, near-equal runs."""
+    n_shards = max(1, min(n_shards, len(items)))
+    base, extra = divmod(len(items), n_shards)
+    out: List[Tuple[IndexedCell, ...]] = []
+    start = 0
+    for i in range(n_shards):
+        size = base + (1 if i < extra else 0)
+        out.append(tuple(items[start:start + size]))
+        start += size
+    return out
+
+
+def plan_shards(
+    cells: Sequence[IndexedCell],
+    *,
+    workers: int = 1,
+    backend: Optional[str] = None,
+) -> List[Shard]:
+    """Partition ``cells`` into stacked and serial shards for ``workers``.
+
+    Deterministic: grouping follows grid order, so the same grid always
+    plans the same shards.  Every input index appears in exactly one
+    shard.
+    """
+    workers = max(1, workers)
+    stacked_groups: Dict[Tuple[int, ...], List[IndexedCell]] = {}
+    serial: List[IndexedCell] = []
+    for index, cell in cells:
+        if probe_table_eligible(cell, backend=backend):
+            stacked_groups.setdefault(cell.shape, []).append((index, cell))
+        else:
+            serial.append((index, cell))
+
+    shards: List[Shard] = []
+    for group in stacked_groups.values():
+        n = min(workers, max(1, len(group) // MIN_STACKED_SHARD))
+        for chunk in _split(group, n):
+            shards.append(Shard(kind="stacked", cells=chunk))
+    if serial:
+        if workers <= 1:
+            shards.append(Shard(kind="serial", cells=tuple(serial)))
+        else:
+            # Explicit chunk size for the remaining per-cell dispatch.
+            chunksize = max(1, ceil(len(serial) / (workers * SERIAL_CHUNKS_PER_WORKER)))
+            for start in range(0, len(serial), chunksize):
+                shards.append(
+                    Shard(kind="serial", cells=tuple(serial[start:start + chunksize]))
+                )
+    return shards

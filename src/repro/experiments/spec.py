@@ -108,6 +108,36 @@ class ExperimentCell:
     measure: int = 256
     drain: int = 512
 
+    def identity(self) -> dict:
+        """Every parameter that determines this cell's result, JSON-shaped.
+
+        The grid position (``index``) is deliberately excluded: two sweeps
+        laying out the same configuration at different grid offsets must
+        produce the same content address in the result cache
+        (:mod:`repro.experiments.cache`).  Everything else — including the
+        policy, the ``cell_seed`` and the throughput-mode injection
+        windows — is part of the identity.
+        """
+        return {
+            "mode": self.mode,
+            "shape": list(self.shape),
+            "policy": self.policy,
+            "faults": self.faults,
+            "interval": self.interval,
+            "lam": self.lam,
+            "messages": self.messages,
+            "seed": self.seed,
+            "cell_seed": self.cell_seed,
+            "contention": self.contention,
+            "flits": self.flits,
+            "scenario": self.scenario,
+            "rate": self.rate,
+            "injection": self.injection,
+            "warmup": self.warmup,
+            "measure": self.measure,
+            "drain": self.drain,
+        }
+
     def config_key(self) -> Tuple[object, ...]:
         """The configuration axes (everything except the policy).
 

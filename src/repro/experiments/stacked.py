@@ -13,14 +13,22 @@ Results are byte-identical to the serial runner's.  Cells stay fully
 independent — each keeps its own information state, traffic source,
 statistics and circuit ledger — and the shared classification is a pure
 per-row function, so stacking changes *where* rows are classified, never
-what any cell observes.  Cells the probe table cannot host (scalar
-backend, non-Algorithm routers, throughput/offline modes) fall back to the
-serial path, cell by cell.
+what any cell observes.  That independence is also why the sharded
+executor (:mod:`repro.experiments.shard`) may split one shape group into
+several sub-groups across worker processes: group membership is invisible
+to every member.  Cells the probe table cannot host (scalar backend,
+non-Algorithm routers, throughput/offline modes) fall back to the serial
+path, cell by cell.
+
+:func:`run_cells_stacked` is the composable unit — it runs any indexed
+subset of a grid's cells and is what a sharded pool worker executes;
+:func:`run_batch_stacked` wraps it over a whole spec (the historic
+``engine="stacked"`` single-process entry point).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.probe_table import ProbeTable
 from repro.experiments.results import BatchResult, CellResult
@@ -32,12 +40,14 @@ if False:  # pragma: no cover - import cycle guard for annotations
 #: One stacked-group member: grid position, cell, its joined simulator.
 _Member = Tuple[int, ExperimentCell, "Simulator"]
 
+#: Callback fired as each cell's result lands: ``(grid index, result)``.
+OnResult = Callable[[int, CellResult], None]
+
 
 def _run_group(
     table: ProbeTable,
     members: List[_Member],
-    results: List[Optional[CellResult]],
-    on_cell_done: Optional[Callable[[CellResult], None]],
+    land: OnResult,
 ) -> None:
     """Step one shape group in lockstep until every member drains.
 
@@ -59,12 +69,9 @@ def _run_group(
             if sim._step < sim.config.max_steps and sim._work_remaining():
                 stepping.append(item)
             else:
-                result = CellResult(
+                land(index, CellResult(
                     cell=cell, metrics=_simulate_metrics(cell, sim.run())
-                )
-                results[index] = result
-                if on_cell_done is not None:
-                    on_cell_done(result)
+                ))
         active = stepping
         if not stepping:
             break
@@ -75,6 +82,55 @@ def _run_group(
             sim._step += 1
             sim.stats.steps = sim._step
         t += 1
+
+
+def run_cells_stacked(
+    cells: Sequence[Tuple[int, ExperimentCell]],
+    *,
+    on_result: Optional[OnResult] = None,
+) -> List[Tuple[int, CellResult]]:
+    """Run an indexed subset of a grid, stacking what the table can host.
+
+    Probe-table-eligible simulate cells are grouped by mesh shape and
+    stepped in lockstep on one shared table per group; everything else
+    (other modes, ineligible policies/backends) runs serially through the
+    same construction paths as the serial runner, so results are
+    byte-identical either way.  Returns ``(grid index, result)`` pairs in
+    completion order; ``on_result`` additionally fires as each lands.
+    This function is self-contained and picklable work — it is what a
+    sharded pool worker executes for a stacked shard.
+    """
+    from repro.experiments.runner import _build_simulate_sim, _simulate_metrics, run_cell
+
+    out: List[Tuple[int, CellResult]] = []
+
+    def land(index: int, result: CellResult) -> None:
+        out.append((index, result))
+        if on_result is not None:
+            on_result(index, result)
+
+    groups: Dict[Tuple[int, ...], List[_Member]] = {}
+    for index, cell in cells:
+        if cell.mode != "simulate":
+            land(index, run_cell(cell))
+            continue
+        sim = _build_simulate_sim(cell)
+        if sim._table is None:
+            # Not probe-table eligible: run this simulator to completion
+            # alone (same construction path as the serial runner).
+            land(index, CellResult(
+                cell=cell, metrics=_simulate_metrics(cell, sim.run())
+            ))
+            continue
+        groups.setdefault(cell.shape, []).append((index, cell, sim))
+
+    for members in groups.values():
+        table = ProbeTable(members[0][2].mesh)
+        for _, _, sim in members:
+            sim._join_table(table)
+        _run_group(table, members, land)
+
+    return out
 
 
 def run_batch_stacked(
@@ -89,37 +145,13 @@ def run_batch_stacked(
     ``engine="stacked"``): identical results in grid order, with
     ``on_cell_done`` fired in completion order.
     """
-    from repro.experiments.runner import _build_simulate_sim, run_cell
-
     cells = spec.cells()
     results: List[Optional[CellResult]] = [None] * len(cells)
-    groups: Dict[Tuple[int, ...], List[_Member]] = {}
-    for index, cell in enumerate(cells):
-        if cell.mode != "simulate":
-            result = run_cell(cell)
-            results[index] = result
-            if on_cell_done is not None:
-                on_cell_done(result)
-            continue
-        sim = _build_simulate_sim(cell)
-        if sim._table is None:
-            # Not probe-table eligible: run this simulator to completion
-            # alone (same construction path as the serial runner).
-            from repro.experiments.runner import _simulate_metrics
 
-            result = CellResult(
-                cell=cell, metrics=_simulate_metrics(cell, sim.run())
-            )
-            results[index] = result
-            if on_cell_done is not None:
-                on_cell_done(result)
-            continue
-        groups.setdefault(cell.shape, []).append((index, cell, sim))
+    def land(index: int, result: CellResult) -> None:
+        results[index] = result
+        if on_cell_done is not None:
+            on_cell_done(result)
 
-    for members in groups.values():
-        table = ProbeTable(members[0][2].mesh)
-        for _, _, sim in members:
-            sim._join_table(table)
-        _run_group(table, members, results, on_cell_done)
-
+    run_cells_stacked(list(enumerate(cells)), on_result=land)
     return BatchResult(spec=spec, results=tuple(results))  # type: ignore[arg-type]

@@ -128,6 +128,12 @@ class TestRunner:
         run_batch(spec, on_cell_done=seen.append)
         assert sorted(r.cell.index for r in seen) == list(range(spec.cell_count))
 
+    def test_default_engine_is_auto_and_matches_serial(self):
+        """The default composition is engine='auto': sharded/stacked where
+        eligible, but byte-identical to the one-cell-at-a-time loop."""
+        spec = small_spec()
+        assert run_batch(spec).to_json() == run_batch(spec, engine="serial").to_json()
+
 
 class TestBatchResult:
     def test_select_and_pivot(self):

@@ -129,7 +129,7 @@ class TestStackedSweepParity:
             contention=True,
             flits=(16,),
         )
-        serial = run_batch(spec)
+        serial = run_batch(spec, engine="serial")
         stacked = run_batch(spec, engine="stacked")
         assert stacked.to_json() == serial.to_json()
 
@@ -146,4 +146,7 @@ class TestStackedSweepParity:
             traffic_sizes=(10,),
             seeds=(0, 1, 2),
         )
-        assert run_batch(spec, engine="stacked").to_json() == run_batch(spec).to_json()
+        assert (
+            run_batch(spec, engine="stacked").to_json()
+            == run_batch(spec, engine="serial").to_json()
+        )
