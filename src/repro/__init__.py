@@ -13,7 +13,10 @@ The public API re-exports the pieces most users need:
   :func:`route_offline`) and the router registry unifying every policy and
   baseline (:func:`resolve_router`, :func:`available_routers`);
 * the step-synchronous simulator (:class:`Simulator`,
-  :class:`SimulationConfig`) implementing the paper's execution model.
+  :class:`SimulationConfig`) implementing the paper's execution model;
+* the opt-in observability layer (:class:`StepRecorder`,
+  :class:`PhaseProfiler`, :mod:`repro.obs`) — per-step time series, phase
+  timing and run telemetry, all zero-cost when not attached.
 
 Quickstart::
 
@@ -61,6 +64,7 @@ from repro.faults import (
     uniform_random_faults,
 )
 from repro.mesh import Direction, Mesh, Region
+from repro.obs import PhaseProfiler, StepRecorder
 from repro.routing import (
     Router,
     available_routers,
@@ -70,7 +74,7 @@ from repro.routing import (
 )
 from repro.simulator import SimulationConfig, SimulationResult, Simulator
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 __all__ = [
     "BlockConstructionResult",
@@ -88,6 +92,7 @@ __all__ = [
     "LabelingState",
     "Mesh",
     "NodeStatus",
+    "PhaseProfiler",
     "ProbeHeader",
     "Region",
     "RouteOutcome",
@@ -98,6 +103,7 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
+    "StepRecorder",
     "__version__",
     "available_routers",
     "build_blocks",

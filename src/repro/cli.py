@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction library.
 
-Six subcommands cover the workflows the experiments use:
+Seven subcommands cover the workflows the experiments use:
 
 * ``repro-mesh route``       — route one source/destination pair against a
   static fault set, under any policy;
@@ -14,7 +14,10 @@ Six subcommands cover the workflows the experiments use:
   canonical JSON;
 * ``repro-mesh throughput``  — open-loop saturation measurement: sweep
   injection rates (or binary-search the saturation point) and print
-  per-policy load-latency/throughput curves.
+  per-policy load-latency/throughput curves;
+* ``repro-mesh report``      — render an observability artifact (a JSONL
+  step trace from ``simulate --trace-out`` or a telemetry JSON from
+  ``sweep --telemetry-out``) as an ASCII table with sparklines.
 
 The mesh is either the uniform ``--radix``/``--dims`` cube or an explicit
 rectangular ``--shape 16,8,4`` (the two options are mutually exclusive).
@@ -211,6 +214,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--flits", type=int, default=64,
         help="message length in flits (circuit hold time under contention)",
     )
+    simulate.add_argument(
+        "--trace-out", default=None,
+        help="attach a per-step recorder and write the run's JSONL trace "
+        "(step series, fault events, convergence, summary) here",
+    )
+    simulate.add_argument(
+        "--profile", action="store_true",
+        help="time the step pipeline's phases and print the nested timing "
+        "report to stderr",
+    )
     _add_backend_argument(simulate)
 
     compare = sub.add_parser("compare", help="compare routing policies on random faults")
@@ -289,7 +302,23 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--name", default="sweep", help="spec name (seeds the cell derivation)")
     sweep.add_argument("--out", default=None, help="write JSON here instead of stdout")
+    sweep.add_argument(
+        "--telemetry-out", default=None,
+        help="write the run's execution telemetry (shard timings, worker "
+        "utilization, cache stats) as JSON to this separate file — the "
+        "canonical sweep JSON itself never contains telemetry",
+    )
     _add_backend_argument(sweep)
+
+    report = sub.add_parser(
+        "report",
+        help="render an observability artifact (simulate --trace-out JSONL "
+        "or sweep --telemetry-out JSON) as an ASCII report",
+    )
+    report.add_argument("file", help="trace (.jsonl) or telemetry (.json) file")
+    report.add_argument(
+        "--width", type=int, default=60, help="sparkline width in characters"
+    )
 
     throughput = sub.add_parser(
         "throughput",
@@ -408,6 +437,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             messages=args.messages,
             seed=args.seed,
         )
+    recorder = profiler = None
+    if args.trace_out:
+        from repro.obs import StepRecorder
+
+        recorder = StepRecorder()
+    if args.profile:
+        from repro.obs import PhaseProfiler
+
+        profiler = PhaseProfiler()
     sim = Simulator(
         scenario.mesh,
         schedule=scenario.schedule,
@@ -417,6 +455,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             router=args.policy,
             contention=args.contention,
         ),
+        recorder=recorder,
+        profiler=profiler,
     )
     stats = sim.run().stats
     print(f"scenario        : {scenario.name}")
@@ -426,6 +466,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.contention:
         utilization = contention_row(stats, scenario.mesh)["link_utilization"]
         print(f"{'link_utilization':<24}: {utilization:.3f}")
+    if recorder is not None:
+        from repro.obs import write_trace
+
+        lines = write_trace(args.trace_out, sim)
+        print(
+            f"wrote {lines} trace records ({len(recorder)} steps) to "
+            f"{args.trace_out}",
+            file=sys.stderr,
+        )
+    if profiler is not None:
+        print(profiler.report(), file=sys.stderr)
     return 0
 
 
@@ -508,6 +559,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{stats.invalid} invalid entries recomputed",
             file=sys.stderr,
         )
+    if args.telemetry_out:
+        import json as _json
+
+        telemetry = batch.telemetry_dict()
+        with open(args.telemetry_out, "w", encoding="utf-8") as handle:
+            _json.dump(telemetry, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"wrote sweep telemetry to {args.telemetry_out}", file=sys.stderr)
     payload = batch.to_json()
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -598,6 +657,16 @@ def _print_curve(policy: str, rows: Sequence[dict]) -> None:
         )
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import report_file
+
+    try:
+        print(report_file(args.file, width=args.width))
+    except (OSError, ValueError) as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return 0
+
+
 _COMMANDS = {
     "route": _cmd_route,
     "simulate": _cmd_simulate,
@@ -605,6 +674,7 @@ _COMMANDS = {
     "convergence": _cmd_convergence,
     "sweep": _cmd_sweep,
     "throughput": _cmd_throughput,
+    "report": _cmd_report,
 }
 
 

@@ -183,13 +183,18 @@ class ProbeTable:
     # ------------------------------------------------------------------ #
     # the step
     # ------------------------------------------------------------------ #
-    def run_step(self, t: int, cells: Sequence[int]) -> None:
+    def run_step(self, t: int, cells: Sequence[int], profiler=None) -> None:
         """Execute the message phase of step ``t`` for the given cells.
 
         Mirrors the scalar engine's phase 3 exactly: inject, release expired
         holds, decide, advance/backtrack/wait, mirror reservations, finish,
-        record occupancy — in that per-cell order.
+        record occupancy — in that per-cell order.  ``profiler`` (an optional
+        :class:`~repro.obs.profile.PhaseProfiler`) times the pipeline's
+        phases; the default ``None`` keeps the span-free path.
         """
+        if profiler is not None:
+            self._run_step_profiled(t, cells, profiler)
+            return
         for c in cells:
             self._inject(c, t)
         for c in cells:
@@ -212,6 +217,36 @@ class ProbeTable:
             cs = self._cells[c]
             if cs.ledger is not None:
                 cs.sim.stats.record_occupancy(cs.ledger.reserved_links)
+
+    def _run_step_profiled(self, t: int, cells: Sequence[int], prof) -> None:
+        """The same step pipeline with each phase timed as a span."""
+        with prof.span("source_poll"):
+            for c in cells:
+                self._inject(c, t)
+        with prof.span("ledger_sweep"):
+            for c in cells:
+                ledger = self._cells[c].ledger
+                if ledger is not None:
+                    ledger.release_expired(t)
+        if len(self._cell):
+            with prof.span("decision_batch"):
+                self._classify()
+                self._ensure_capacity()
+            fin: List[int] = []
+            with prof.span("probe_advance"):
+                if self._any_free:
+                    self._advance_free(fin, t)
+                if self._any_contended:
+                    self._advance_contended(fin, t)
+                if fin:
+                    keep = np.ones(self._cell.size, dtype=bool)
+                    keep[fin] = False
+                    self._compact(np.flatnonzero(keep))
+        with prof.span("occupancy"):
+            for c in cells:
+                cs = self._cells[c]
+                if cs.ledger is not None:
+                    cs.sim.stats.record_occupancy(cs.ledger.reserved_links)
 
     # ------------------------------------------------------------------ #
     # injection

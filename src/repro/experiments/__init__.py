@@ -19,6 +19,10 @@ whole fleets of scenarios can be swept, compared and persisted uniformly:
   overlapping sweeps cost only cache reads;
 * :mod:`repro.experiments.results` — :class:`BatchResult`, aggregating
   per-cell metrics with canonical JSON export and pivot-table helpers.
+  Each batch also carries a :class:`~repro.obs.telemetry.SweepTelemetry`
+  (shard timings, worker utilization, cache stats) on
+  ``BatchResult.telemetry`` — observational only, never part of the
+  canonical JSON.
 
 The ``repro-mesh sweep`` CLI subcommand, the comparison benchmarks and
 ``examples/policy_comparison.py`` all route through this package.
@@ -27,6 +31,7 @@ The ``repro-mesh sweep`` CLI subcommand, the comparison benchmarks and
 from repro.experiments.cache import CacheStats, ResultCache, cell_fingerprint
 from repro.experiments.results import BatchResult, CellResult
 from repro.experiments.runner import ENGINES, run_batch, run_cell, shutdown_pool
+from repro.obs.telemetry import ShardRecord, SweepTelemetry
 from repro.experiments.shard import Shard, plan_shards, probe_table_eligible
 from repro.experiments.spec import (
     MODES,
@@ -49,6 +54,8 @@ __all__ = [
     "ResultCache",
     "SIMULATE_POLICIES",
     "Shard",
+    "ShardRecord",
+    "SweepTelemetry",
     "cell_fingerprint",
     "derive_cell_seed",
     "plan_shards",

@@ -89,6 +89,15 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def to_dict(self) -> Dict[str, int]:
+        """Flat payload for sweep telemetry (lookups/hit_rate derivable)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "invalid": self.invalid,
+        }
+
 
 @dataclass
 class ResultCache:

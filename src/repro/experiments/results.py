@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.spec import ExperimentCell, ExperimentSpec
+from repro.obs.telemetry import SweepTelemetry
 
 
 @dataclass(frozen=True)
@@ -54,6 +55,12 @@ class BatchResult:
     spec: ExperimentSpec
     results: Tuple[CellResult, ...]
 
+    #: Execution telemetry of the batch run (shard timings, worker
+    #: utilization, cache stats) — observational only: excluded from
+    #: equality and from :meth:`to_dict`, so the canonical JSON stays
+    #: byte-identical across engines, worker counts and cache states.
+    telemetry: Optional[SweepTelemetry] = field(default=None, compare=False)
+
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "results", tuple(sorted(self.results, key=lambda r: r.cell.index))
@@ -64,7 +71,10 @@ class BatchResult:
 
     @classmethod
     def assemble(
-        cls, spec: ExperimentSpec, results: Sequence[Optional[CellResult]]
+        cls,
+        spec: ExperimentSpec,
+        results: Sequence[Optional[CellResult]],
+        telemetry: Optional[SweepTelemetry] = None,
     ) -> "BatchResult":
         """Build a batch from sparse per-index results, validating coverage.
 
@@ -79,7 +89,11 @@ class BatchResult:
                 f"batch incomplete: {len(missing)} of {len(results)} cells "
                 f"never produced a result (first missing index {missing[0]})"
             )
-        return cls(spec=spec, results=tuple(results))  # type: ignore[arg-type]
+        return cls(
+            spec=spec,
+            results=tuple(results),  # type: ignore[arg-type]
+            telemetry=telemetry,
+        )
 
     # ------------------------------------------------------------------ #
     # export
@@ -97,6 +111,14 @@ class BatchResult:
         serial and parallel runs of the same spec serialize byte-identically.
         """
         return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    def telemetry_dict(self) -> Optional[dict]:
+        """The versioned telemetry payload, or ``None`` when none was
+        collected.  Kept out of :meth:`to_dict` by design — telemetry is
+        wall-clock-dependent and must never enter the canonical export."""
+        if self.telemetry is None:
+            return None
+        return self.telemetry.to_dict()
 
     # ------------------------------------------------------------------ #
     # table helpers

@@ -38,6 +38,7 @@ import atexit
 import os
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from math import ceil
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -52,6 +53,7 @@ from repro.experiments.shard import SERIAL_CHUNKS_PER_WORKER, Shard, plan_shards
 from repro.experiments.spec import ExperimentCell, ExperimentSpec
 from repro.faults.injection import clustered_faults, dynamic_schedule, uniform_random_faults
 from repro.mesh.topology import Mesh
+from repro.obs.telemetry import ShardRecord, SweepTelemetry
 from repro.routing import resolve_router
 from repro.simulator.engine import SimulationConfig, Simulator
 from repro.workloads.congestion import (
@@ -238,20 +240,25 @@ def run_cell(cell: ExperimentCell) -> CellResult:
 # ---------------------------------------------------------------------- #
 def _execute_shard(
     shard: Shard, backend: Optional[str] = None
-) -> List[Tuple[int, CellResult]]:
+) -> Tuple[List[Tuple[int, CellResult]], float]:
     """Run one shard to completion; the unit a pool worker executes.
 
+    Returns the shard's ``(index, result)`` pairs plus the worker-side wall
+    seconds the shard took (the compute-time half of the sweep telemetry).
     ``backend`` pins the worker's hot-loop backend explicitly: the pool is
     persistent, so a worker forked under an old ``REPRO_BACKEND`` would
     otherwise keep computing with it after the parent changed its mind.
     """
     if backend is not None:
         os.environ[BACKEND_ENV_VAR] = backend
+    start = perf_counter()
     if shard.kind == "stacked":
         from repro.experiments.stacked import run_cells_stacked
 
-        return run_cells_stacked(shard.cells)
-    return [(index, run_cell(cell)) for index, cell in shard.cells]
+        pairs = run_cells_stacked(shard.cells)
+    else:
+        pairs = [(index, run_cell(cell)) for index, cell in shard.cells]
+    return pairs, perf_counter() - start
 
 
 # ---------------------------------------------------------------------- #
@@ -295,13 +302,19 @@ def _dispatch_shards(
     shards: Sequence[Shard],
     workers: int,
     land: Callable[[int, CellResult], None],
-) -> None:
+    *,
+    batch_start: Optional[float] = None,
+    records: Optional[List[ShardRecord]] = None,
+) -> int:
     """Run shards across the persistent pool, landing cells as shards finish.
 
     Completion-order delivery: ``wait(FIRST_COMPLETED)`` over shard
     futures, so the progress hook never stalls behind the slowest early
     shard the way ``pool.map``'s submission-order iteration did.  A broken
     pool (a worker died) is discarded so the next batch starts clean.
+    Appends one :class:`ShardRecord` per shard to ``records`` (worker-side
+    seconds plus the parent-side landing offset from ``batch_start``) and
+    returns the effective pool size.
     """
     # Cap the pool at the work available: a 2-cell spec with workers=8
     # should not spawn 8 processes.
@@ -316,24 +329,54 @@ def _dispatch_shards(
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
-                for index, result in future.result():
+                pairs, seconds = future.result()
+                for index, result in pairs:
                     land(index, result)
+                if records is not None:
+                    records.append(
+                        ShardRecord(
+                            kind=futures[future].kind,
+                            cells=len(pairs),
+                            seconds=seconds,
+                            landed_seconds=(
+                                perf_counter() - batch_start
+                                if batch_start is not None
+                                else 0.0
+                            ),
+                        )
+                    )
     except BaseException:
         shutdown_pool()
         raise
+    return workers
 
 
 def _run_serial_engine(
     pending: Sequence[Tuple[int, ExperimentCell]],
     workers: int,
     land: Callable[[int, CellResult], None],
-) -> None:
+    *,
+    batch_start: Optional[float] = None,
+    records: Optional[List[ShardRecord]] = None,
+) -> int:
     """The ``engine="serial"`` path: per-cell execution, optionally fanned
     out as explicitly chunked serial shards (no stacking)."""
     if workers <= 1:
+        start = perf_counter()
         for index, cell in pending:
             land(index, run_cell(cell))
-        return
+        if records is not None:
+            records.append(
+                ShardRecord(
+                    kind="serial",
+                    cells=len(pending),
+                    seconds=perf_counter() - start,
+                    landed_seconds=(
+                        perf_counter() - batch_start if batch_start is not None else 0.0
+                    ),
+                )
+            )
+        return 1
     # Explicit chunk size: amortize per-dispatch pickling without letting
     # one slow cell hold a whole worker's share hostage.
     chunksize = max(1, ceil(len(pending) / (workers * SERIAL_CHUNKS_PER_WORKER)))
@@ -341,7 +384,9 @@ def _run_serial_engine(
         Shard(kind="serial", cells=tuple(pending[start:start + chunksize]))
         for start in range(0, len(pending), chunksize)
     ]
-    _dispatch_shards(shards, workers, land)
+    return _dispatch_shards(
+        shards, workers, land, batch_start=batch_start, records=records
+    )
 
 
 def run_batch(
@@ -368,11 +413,19 @@ def run_batch(
     fingerprint hits without running anything and persists each miss as it
     lands.  ``on_cell_done`` is invoked with every finished result in
     completion order (cache hits first).
+
+    The returned batch carries a
+    :class:`~repro.obs.telemetry.SweepTelemetry` (per-shard wall times,
+    worker utilization, cache hit counts) on ``result.telemetry`` —
+    observational only, excluded from the canonical JSON export.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown batch engine {engine!r} (choose from {ENGINES})")
+    batch_start = perf_counter()
     cells = spec.cells()
     results: List[Optional[CellResult]] = [None] * len(cells)
+    shard_records: List[ShardRecord] = []
+    effective_workers = 1
 
     def land(index: int, result: CellResult, *, fresh: bool = True) -> None:
         if fresh and cache is not None:
@@ -389,18 +442,54 @@ def run_batch(
                 land(index, CellResult(cell=cell, metrics=metrics), fresh=False)
                 continue
         pending.append((index, cell))
+    if cache is not None and len(pending) < len(cells):
+        # Cache hits land as one zero-compute shard so the shard table
+        # accounts for every cell of the batch.
+        shard_records.append(
+            ShardRecord(
+                kind="cached",
+                cells=len(cells) - len(pending),
+                seconds=0.0,
+                landed_seconds=perf_counter() - batch_start,
+            )
+        )
 
     if pending:
         if engine == "serial":
-            _run_serial_engine(pending, workers, land)
+            effective_workers = _run_serial_engine(
+                pending,
+                workers,
+                land,
+                batch_start=batch_start,
+                records=shard_records,
+            )
         elif workers <= 1:
             # auto/stacked, single process: stack eligible cells in-process
             # (one lockstep group per shape), everything else serially.
             from repro.experiments.stacked import run_cells_stacked
 
+            start = perf_counter()
             run_cells_stacked(pending, on_result=land)
+            shard_records.append(
+                ShardRecord(
+                    kind="stacked",
+                    cells=len(pending),
+                    seconds=perf_counter() - start,
+                    landed_seconds=perf_counter() - batch_start,
+                )
+            )
         else:
             shards = plan_shards(pending, workers=workers)
-            _dispatch_shards(shards, workers, land)
+            effective_workers = _dispatch_shards(
+                shards, workers, land, batch_start=batch_start, records=shard_records
+            )
 
-    return BatchResult.assemble(spec, results)
+    telemetry = SweepTelemetry(
+        engine=engine,
+        workers=max(1, effective_workers),
+        cells=len(cells),
+        wall_seconds=perf_counter() - batch_start,
+        shards=tuple(shard_records),
+        cache=cache.stats.to_dict() if cache is not None else None,
+    )
+    return BatchResult.assemble(spec, results, telemetry=telemetry)

@@ -1,0 +1,159 @@
+"""JSONL trace export of a recorded simulation run.
+
+A trace is one JSON object per line:
+
+* a **header** line (``kind: "header"``) carrying the schema version, the
+  mesh shape, the routing policy and the recorder's column names;
+* one **step** line per simulation step (``kind: "step"``): per-step
+  deltas of the cumulative counters (injected/finished/delivered messages,
+  blocked hops, setup retries, link-steps) plus end-of-step levels
+  (in-flight and waiting probes, reserved links, labeling status-code
+  populations);
+* one **event** line per scheduled fault/recovery event;
+* one **convergence** line per fault change the simulator stabilized;
+* a final **summary** line mirroring ``SimulationStats.summary()``.
+
+The per-step delta series sum back to the end-of-run aggregates exactly
+(``sum(delivered) == summary["messages"] * delivery_rate`` and so on) —
+:func:`read_trace` round-trips the file and the tests hold it to that.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Union
+
+from repro.obs.recorder import StepRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only (avoid engine cycle)
+    from repro.simulator.engine import Simulator
+
+__all__ = ["TRACE_SCHEMA", "Trace", "read_trace", "trace_records", "write_trace"]
+
+#: Versioned schema tag on the header line; bump on layout changes.
+TRACE_SCHEMA = "repro.trace/v1"
+
+
+def trace_records(
+    sim: "Simulator", recorder: Optional[StepRecorder] = None
+) -> Iterator[dict]:
+    """The trace of ``sim`` as an iterator of JSON-serializable records.
+
+    ``recorder`` defaults to the recorder attached to the simulator; a
+    simulator that ran without one traces events and summary only.
+    """
+    if recorder is None:
+        recorder = sim._recorder
+    stats = sim.stats
+    yield {
+        "kind": "header",
+        "schema": TRACE_SCHEMA,
+        "shape": list(sim.mesh.shape),
+        "policy": getattr(sim.router, "name", "?"),
+        "contention": sim.config.contention,
+        "lam": sim.config.lam,
+        "steps": stats.steps,
+        "columns": list(recorder.columns) if recorder is not None else [],
+    }
+    for event in sim.schedule.events:
+        yield {
+            "kind": "event",
+            "t": event.time,
+            "event": event.kind.value,
+            "node": list(event.node),
+        }
+    if recorder is not None:
+        for row in recorder.rows():
+            row_out: Dict[str, Union[str, int]] = {"kind": "step"}
+            row_out.update(row)
+            yield row_out
+    for record in stats.convergence:
+        yield {
+            "kind": "convergence",
+            "event": record.event.kind.value,
+            "node": list(record.event.node),
+            "detected_step": record.detected_step,
+            "stabilized_step": record.stabilized_step,
+            "labeling_rounds": record.labeling_rounds,
+            "identification_rounds": record.identification_rounds,
+            "boundary_rounds": record.boundary_rounds,
+        }
+    yield {"kind": "summary", "metrics": stats.summary()}
+
+
+def write_trace(
+    path: str, sim: "Simulator", recorder: Optional[StepRecorder] = None
+) -> int:
+    """Write ``sim``'s trace to ``path`` as JSONL; returns the line count."""
+    lines = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in trace_records(sim, recorder):
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+            lines += 1
+    return lines
+
+
+@dataclass
+class Trace:
+    """A parsed JSONL trace, grouped by record kind."""
+
+    header: dict
+    steps: List[dict] = field(default_factory=list)
+    events: List[dict] = field(default_factory=list)
+    convergence: List[dict] = field(default_factory=list)
+    summary: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def schema(self) -> str:
+        return self.header.get("schema", "")
+
+    def series(self, column: str) -> List[int]:
+        """The per-step series of one step-row column, in step order."""
+        return [row[column] for row in self.steps]
+
+
+def read_trace(path: str) -> Trace:
+    """Parse a JSONL trace written by :func:`write_trace`."""
+    header: Optional[dict] = None
+    steps: List[dict] = []
+    events: List[dict] = []
+    convergence: List[dict] = []
+    summary: Dict[str, float] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: not valid JSON ({exc})")
+            kind = record.get("kind")
+            if kind == "header":
+                if record.get("schema") != TRACE_SCHEMA:
+                    raise ValueError(
+                        f"{path}: unsupported trace schema "
+                        f"{record.get('schema')!r} (expected {TRACE_SCHEMA!r})"
+                    )
+                header = record
+            elif kind == "step":
+                steps.append(record)
+            elif kind == "event":
+                events.append(record)
+            elif kind == "convergence":
+                convergence.append(record)
+            elif kind == "summary":
+                summary = record.get("metrics", {})
+            else:
+                raise ValueError(f"{path}:{line_number}: unknown record kind {kind!r}")
+    if header is None:
+        raise ValueError(f"{path}: no trace header line found")
+    return Trace(
+        header=header,
+        steps=steps,
+        events=events,
+        convergence=convergence,
+        summary=summary,
+    )

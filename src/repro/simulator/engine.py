@@ -54,6 +54,8 @@ from repro.simulator.traffic import BatchSource, TrafficMessage, TrafficSource
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import (cycle guard)
     from repro.core.probe_table import ProbeTable
     from repro.core.routing import RouteResult
+    from repro.obs.profile import PhaseProfiler
+    from repro.obs.recorder import StepRecorder
 
 Coord = Tuple[int, ...]
 
@@ -153,8 +155,16 @@ class Simulator:
         schedule: Optional[DynamicFaultSchedule] = None,
         traffic: Union[Sequence[TrafficMessage], TrafficSource] = (),
         config: Optional[SimulationConfig] = None,
+        recorder: Optional["StepRecorder"] = None,
+        profiler: Optional["PhaseProfiler"] = None,
     ) -> None:
         self.mesh = mesh
+        #: Opt-in observability hooks (None by default — the hot path pays a
+        #: single ``is not None`` check per step for each).  The recorder
+        #: samples one time-series row after every executed step; the
+        #: profiler times the step pipeline's phases as nested spans.
+        self._recorder = recorder
+        self._profiler = profiler
         # Note: a purely static schedule has len() == 0, so test identity
         # against None rather than truthiness.
         self.schedule = schedule if schedule is not None else DynamicFaultSchedule()
@@ -353,17 +363,29 @@ class Simulator:
     def step(self) -> None:
         """Execute one full simulation step (Figure 7 (a))."""
         t = self._step
-        self._step_information(t)
-        if self._table is not None:
-            self._table.run_step(t, (self._table_cell,))
+        prof = self._profiler
+        if prof is None:
+            self._step_information(t)
+            if self._table is not None:
+                self._table.run_step(t, (self._table_cell,))
+            else:
+                self._step_messages(t)
         else:
-            self._step_messages(t)
+            with prof.span("step"):
+                with prof.span("information"):
+                    self._step_information(t, prof=prof)
+                with prof.span("messages"):
+                    if self._table is not None:
+                        self._table.run_step(t, (self._table_cell,), profiler=prof)
+                    else:
+                        self._step_messages(t)
         self._step += 1
         self.stats.steps = self._step
+        if self._recorder is not None:
+            self._recorder.sample(self)
 
-    def _step_information(self, t: int) -> None:
-        """Phases 1–2 of step ``t``: fault detection + λ information rounds."""
-        # 1. fault detection -------------------------------------------------
+    def _detect_faults(self, t: int) -> None:
+        """Phase 1 of step ``t``: apply this step's scheduled fault events."""
         for event in self.schedule.events_at(t):
             if event.kind is FaultEventKind.FAULT:
                 self.info.labeling.make_faulty(event.node)
@@ -375,6 +397,17 @@ class Simulator:
                 ConvergenceRecord(event=event, detected_step=t)
             )
 
+    def _step_information(
+        self, t: int, prof: Optional["PhaseProfiler"] = None
+    ) -> None:
+        """Phases 1–2 of step ``t``: fault detection + λ information rounds."""
+        # 1. fault detection -------------------------------------------------
+        if prof is None:
+            self._detect_faults(t)
+        else:
+            with prof.span("fault_detect"):
+                self._detect_faults(t)
+
         # 2. λ rounds of information exchange --------------------------------
         for _ in range(self.config.lam):
             if self._labeling_stable:
@@ -382,7 +415,13 @@ class Simulator:
                 # nothing moved; the skipped round is exactly that no-op.
                 changed = False
             else:
-                changed = labeling_round(self.info.labeling, backend=self._backend)
+                if prof is None:
+                    changed = labeling_round(self.info.labeling, backend=self._backend)
+                else:
+                    with prof.span("labeling_round"):
+                        changed = labeling_round(
+                            self.info.labeling, backend=self._backend
+                        )
                 if not changed:
                     self._labeling_stable = True
             self.stats.total_rounds += 1
@@ -393,7 +432,11 @@ class Simulator:
                 # Labeling just stabilized: reactively (re)build information.
                 self._start_new_identifications()
                 self._labeling_dirty = False
-            self._advance_protocols()
+            if prof is None:
+                self._advance_protocols()
+            else:
+                with prof.span("protocols"):
+                    self._advance_protocols()
             if (
                 not self._labeling_dirty
                 and not self._identifications

@@ -11,15 +11,24 @@ Three record types cover everything the experiments report:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from statistics import mean
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.routing import RouteOutcome, RouteResult
 from repro.faults.schedule import FaultEvent
 from repro.simulator.traffic import TrafficMessage
 
 Coord = Tuple[int, ...]
+
+
+def percentile(sorted_values: Sequence[int], fraction: float) -> float:
+    """The ``fraction`` percentile of an ascending sequence (nearest-rank)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(fraction * len(sorted_values)))
+    return float(sorted_values[rank - 1])
 
 
 @dataclass
@@ -219,6 +228,7 @@ class SimulationStats:
 
     def summary(self) -> Dict[str, float]:
         """Flat summary dictionary convenient for printing bench tables."""
+        latencies = self.setup_latencies()
         return {
             "messages": float(len(self.messages)),
             "delivery_rate": self.delivery_rate,
@@ -235,6 +245,9 @@ class SimulationStats:
             "mean_reserved_links": self.mean_reserved_links,
             "peak_reserved_links": float(self.peak_reserved_links),
             "timeout_releases": float(self.timeout_releases),
+            "mean_latency": (sum(latencies) / len(latencies)) if latencies else 0.0,
+            "p50_latency": percentile(latencies, 0.50),
+            "p99_latency": percentile(latencies, 0.99),
         }
 
     # ------------------------------------------------------------------ #

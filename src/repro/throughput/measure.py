@@ -23,7 +23,6 @@ runner and the saturation search share: mesh + faults + policy + rate in,
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -33,7 +32,9 @@ from repro.core.block_construction import build_blocks
 from repro.faults.injection import uniform_random_faults
 from repro.faults.schedule import DynamicFaultSchedule
 from repro.mesh.topology import Mesh
+from repro.obs.recorder import StepRecorder
 from repro.simulator.engine import SimulationConfig, Simulator
+from repro.simulator.stats import percentile
 from repro.throughput.injection import OpenLoopSource, make_injection
 
 Coord = Tuple[int, ...]
@@ -140,12 +141,40 @@ class ThroughputResult:
         }
 
 
-def _percentile(sorted_values: Sequence[int], fraction: float) -> float:
-    """The ``fraction`` percentile of an ascending sequence (nearest-rank)."""
-    if not sorted_values:
-        return 0.0
-    rank = max(1, math.ceil(fraction * len(sorted_values)))
-    return float(sorted_values[rank - 1])
+def _window_samples(
+    recorder: StepRecorder, windows: MeasurementWindows
+) -> List[WindowSample]:
+    """Slice the recorder's cumulative columns into measurement sub-windows.
+
+    Sub-windows cover exactly the measurement phase — boundaries at the
+    warmup end, every ``sample_every`` steps after it, and the injection
+    stop — and each sample is the first difference of the cumulative
+    injected/finished/delivered/link-step columns across its window, so the
+    numbers are identical to the historic inline mark-and-diff sampling.
+    """
+    bounds = [windows.warmup]
+    boundary = windows.warmup + windows.sample_every
+    while boundary < windows.injection_stop:
+        bounds.append(boundary)
+        boundary += windows.sample_every
+    bounds.append(windows.injection_stop)
+
+    cum = recorder.cumulative_at
+    samples: List[WindowSample] = []
+    for a, b in zip(bounds, bounds[1:]):
+        samples.append(
+            WindowSample(
+                start_step=a,
+                injected=cum("injected_total", b) - cum("injected_total", a),
+                finished=cum("finished_total", b) - cum("finished_total", a),
+                delivered=cum("delivered_total", b) - cum("delivered_total", a),
+                mean_reserved_links=(
+                    cum("link_steps_total", b) - cum("link_steps_total", a)
+                )
+                / (b - a),
+            )
+        )
+    return samples
 
 
 def measure_open_loop(
@@ -155,58 +184,31 @@ def measure_open_loop(
     schedule: Optional[DynamicFaultSchedule] = None,
     config: Optional[SimulationConfig] = None,
     windows: Optional[MeasurementWindows] = None,
+    recorder: Optional[StepRecorder] = None,
 ) -> ThroughputResult:
     """Run the three-phase open-loop measurement and aggregate the window.
 
     ``source.stop`` is forced to the end of the measurement phase; the
     simulator then drains until every measured message finished or the
-    drain budget is exhausted.
+    drain budget is exhausted.  The per-window occupancy series is sliced
+    from a :class:`~repro.obs.recorder.StepRecorder` attached to the
+    simulator (pass ``recorder`` to keep it — e.g. for a trace export).
     """
     windows = windows or MeasurementWindows()
     config = config or SimulationConfig(contention=True)
     source.stop = windows.injection_stop
-    sim = Simulator(mesh, schedule=schedule, traffic=source, config=config)
+    if recorder is None:
+        recorder = StepRecorder(capacity=windows.horizon)
+    sim = Simulator(
+        mesh, schedule=schedule, traffic=source, config=config, recorder=recorder
+    )
 
-    samples: List[WindowSample] = []
-
-    def delivered_count() -> int:
-        return sum(1 for r in sim.stats.messages if r.delivered)
-
-    def marks() -> Tuple[int, int, int, int]:
-        return (
-            source.generated,
-            len(sim.stats.messages),
-            delivered_count(),
-            sim.stats.circuit_link_steps,
-        )
-
-    mark = marks()
-    mark_step = 0
     while sim.current_step < windows.horizon:
         if sim.current_step >= windows.injection_stop and sim.in_flight == 0:
             break  # drained: every injected message finished
         sim.step()
-        now = sim.current_step
-        if now == windows.warmup:
-            # Warmup boundary: restart the deltas so samples cover exactly
-            # the measurement phase.
-            mark, mark_step = marks(), now
-        elif windows.warmup < now <= windows.injection_stop and (
-            (now - windows.warmup) % windows.sample_every == 0
-            or now == windows.injection_stop
-        ):
-            injected, finished, delivered, link_steps = marks()
-            length = now - mark_step
-            samples.append(
-                WindowSample(
-                    start_step=mark_step,
-                    injected=injected - mark[0],
-                    finished=finished - mark[1],
-                    delivered=delivered - mark[2],
-                    mean_reserved_links=(link_steps - mark[3]) / length,
-                )
-            )
-            mark, mark_step = (injected, finished, delivered, link_steps), now
+
+    samples = _window_samples(recorder, windows)
 
     lo, hi = windows.warmup, windows.injection_stop
 
@@ -244,7 +246,7 @@ def measure_open_loop(
             delivered_in_window / denominator if denominator else 0.0
         ),
         mean_setup_latency=(sum(latencies) / len(latencies)) if latencies else 0.0,
-        p99_setup_latency=_percentile(latencies, 0.99),
+        p99_setup_latency=percentile(latencies, 0.99),
         samples=tuple(samples),
         steps=sim.current_step,
     )

@@ -107,6 +107,41 @@ def render_information(
     return _grid(info.mesh, slice_coords, char_of)
 
 
+#: Eight-level bar glyphs, lowest to highest.
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], *, width: int = 60) -> str:
+    """One-line bar chart of a numeric series.
+
+    Series longer than ``width`` are downsampled by bucket means (each
+    output glyph averages an equal slice of the input), so a long per-step
+    series still reads as its overall shape.  Bars scale min→max; a
+    constant series renders as all-low bars.
+    """
+    if width < 1:
+        raise ValueError("sparkline width must be at least 1")
+    series = [float(v) for v in values]
+    if not series:
+        return ""
+    if len(series) > width:
+        buckets = []
+        for k in range(width):
+            lo = k * len(series) // width
+            hi = max(lo + 1, (k + 1) * len(series) // width)
+            chunk = series[lo:hi]
+            buckets.append(sum(chunk) / len(chunk))
+        series = buckets
+    low, high = min(series), max(series)
+    span = high - low
+    if span <= 0.0:
+        return _SPARK_CHARS[0] * len(series)
+    top = len(_SPARK_CHARS) - 1
+    return "".join(
+        _SPARK_CHARS[min(top, int((v - low) / span * top + 0.5))] for v in series
+    )
+
+
 def render_route(
     mesh: Mesh,
     labeling: LabelingState,

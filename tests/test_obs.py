@@ -1,0 +1,458 @@
+"""Tests for the observability layer (repro.obs).
+
+The load-bearing contracts:
+
+* attaching a recorder or profiler never changes simulation results
+  (enabled-vs-disabled parity, on both probe engines);
+* the recorder's cumulative-column deltas sum back to the end-of-run
+  ``SimulationStats`` aggregates *exactly* — the acceptance criterion of
+  the observability PR;
+* the JSONL trace round-trips and preserves those sums;
+* ``measure_open_loop``'s window samples (now recorder-sliced) match the
+  historic inline mark-and-diff reference, number for number;
+* sweep telemetry rides on ``BatchResult`` without ever entering the
+  canonical JSON, so the determinism contract is untouched.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentSpec, run_batch
+from repro.mesh import Mesh
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PhaseProfiler,
+    ShardRecord,
+    StepRecorder,
+    SweepTelemetry,
+    TRACE_SCHEMA,
+    read_trace,
+    trace_records,
+    write_trace,
+)
+from repro.obs.recorder import CUMULATIVE_COLUMNS
+from repro.obs.report import render_telemetry_report, render_trace_report, sniff_kind
+from repro.simulator.engine import SimulationConfig, Simulator
+from repro.simulator.stats import percentile
+from repro.throughput import MeasurementWindows, OpenLoopSource, make_injection
+from repro.throughput.measure import measure_open_loop
+from repro.viz.ascii import sparkline
+from repro.workloads.scenarios import random_dynamic_scenario
+
+
+def _contended_sim(backend=None, recorder=None, profiler=None):
+    """A contended 8x8 dynamic-fault scenario (the acceptance scenario)."""
+    scenario = random_dynamic_scenario(
+        shape=(8, 8), dynamic_faults=4, interval=15, messages=24, seed=1
+    )
+    return Simulator(
+        scenario.mesh,
+        schedule=scenario.schedule,
+        traffic=list(scenario.traffic),
+        config=SimulationConfig(
+            lam=2, router="limited-global", contention=True, backend=backend
+        ),
+        recorder=recorder,
+        profiler=profiler,
+    )
+
+
+class TestRegistry:
+    def test_counter_increments_and_rejects_negative(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_and_add(self):
+        g = Gauge("g")
+        g.set(3.0)
+        g.add(-1.5)
+        assert g.value == 1.5
+
+    def test_histogram_buckets_and_moments(self):
+        h = Histogram("h", bounds=(1, 2, 4))
+        for v in (0, 1, 2, 3, 100):
+            h.observe(v)
+        assert h.count == 5
+        assert h.total == 106.0
+        assert h.min == 0 and h.max == 100
+        # buckets: <=1 gets 0 and 1; <=2 gets 2; <=4 gets 3; overflow 100.
+        assert h.buckets == [2, 1, 1, 1]
+        snap = h.snapshot()
+        assert snap["mean"] == pytest.approx(21.2)
+
+    def test_registry_lazy_creation_and_type_clash(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        reg.gauge("b").set(2)
+        with pytest.raises(TypeError):
+            reg.counter("b")
+        snap = reg.snapshot()
+        assert set(snap) == {"a", "b"}
+        assert snap["b"] == {"type": "gauge", "value": 2.0}
+        assert reg.names() == ["a", "b"]
+
+
+class TestPhaseProfiler:
+    def test_spans_aggregate_by_nested_path(self):
+        prof = PhaseProfiler()
+        for _ in range(3):
+            with prof.span("outer"):
+                with prof.span("inner"):
+                    pass
+        assert prof.count("outer") == 3
+        assert prof.count("outer", "inner") == 3
+        assert prof.seconds("outer") >= prof.seconds("outer", "inner") >= 0.0
+        assert prof.count("missing") == 0
+        tree = prof.to_dict()
+        assert tree["outer"]["children"]["inner"]["count"] == 3
+        report = prof.report()
+        assert "outer" in report and "inner" in report
+
+    def test_profiled_run_matches_unprofiled(self):
+        plain = _contended_sim(backend="vector")
+        plain.run()
+        prof = PhaseProfiler()
+        profiled = _contended_sim(backend="vector", profiler=prof)
+        profiled.run()
+        assert profiled.stats.summary() == plain.stats.summary()
+        assert prof.count("step") == plain.stats.steps
+        assert prof.seconds("step") > 0.0
+        # The table engine's message phases were timed under "messages".
+        assert prof.count("step", "messages", "probe_advance") > 0
+
+    def test_object_path_profiled_run_matches(self):
+        plain = _contended_sim(backend="scalar")
+        plain.run()
+        prof = PhaseProfiler()
+        profiled = _contended_sim(backend="scalar", profiler=prof)
+        profiled.run()
+        assert profiled.stats.summary() == plain.stats.summary()
+        assert prof.count("step", "information", "labeling_round") > 0
+
+
+class TestStepRecorder:
+    def test_recorder_does_not_change_results(self):
+        plain = _contended_sim()
+        plain.run()
+        recorder = StepRecorder()
+        recorded = _contended_sim(recorder=recorder)
+        recorded.run()
+        assert recorded.stats.summary() == plain.stats.summary()
+        assert len(recorder) == plain.stats.steps
+
+    @pytest.mark.parametrize("backend", ["vector", "scalar"])
+    def test_series_sums_equal_aggregates(self, backend):
+        recorder = StepRecorder(capacity=16)  # force growth too
+        sim = _contended_sim(backend=backend, recorder=recorder)
+        sim.run()
+        stats = sim.stats
+
+        assert len(recorder) == stats.steps
+        sums = {
+            name: int(recorder.deltas(name).sum()) for name in CUMULATIVE_COLUMNS
+        }
+        assert sums["finished_total"] == len(stats.messages)
+        assert sums["delivered_total"] == len(stats.delivered_messages)
+        assert sums["blocked_hops_total"] == stats.total_blocked_hops
+        assert sums["setup_retries_total"] == stats.total_setup_retries
+        assert sums["link_steps_total"] == stats.circuit_link_steps
+        # Deltas of a cumulative column reconstruct its final value.
+        assert recorder.cumulative_at("finished_total", stats.steps) == len(
+            stats.messages
+        )
+        # Level columns: every node is in exactly one status bucket.
+        statuses = (
+            recorder.column("nodes_enabled")
+            + recorder.column("nodes_clean")
+            + recorder.column("nodes_disabled")
+            + recorder.column("nodes_faulty")
+        )
+        assert (statuses == sim.mesh.size).all()
+        # All probes finished, so the final in-flight level is zero.
+        assert recorder.column("in_flight")[-1] == 0
+        # Peak of the sampled occupancy equals the stats' tracked peak.
+        assert recorder.column("reserved_links").max() == stats.peak_reserved_links
+
+    def test_column_access_guards(self):
+        recorder = StepRecorder()
+        with pytest.raises(KeyError):
+            recorder.column("nope")
+        with pytest.raises(KeyError):
+            recorder.deltas("in_flight")  # a level, not a cumulative column
+        assert recorder.cumulative_at("finished_total", 0) == 0
+        view = recorder.column("step")
+        assert not view.flags.writeable
+
+    def test_rows_are_deltas_plus_levels(self):
+        recorder = StepRecorder()
+        sim = _contended_sim(recorder=recorder)
+        sim.run()
+        rows = list(recorder.rows())
+        assert len(rows) == sim.stats.steps
+        assert rows[0]["step"] == 0
+        assert sum(r["finished"] for r in rows) == len(sim.stats.messages)
+        assert all("in_flight" in r and "reserved_links" in r for r in rows)
+
+
+class TestTrace:
+    def test_round_trip(self, tmp_path):
+        recorder = StepRecorder()
+        sim = _contended_sim(recorder=recorder)
+        sim.run()
+        path = str(tmp_path / "run.jsonl")
+        lines = write_trace(path, sim)
+        assert lines == len(list(trace_records(sim)))
+
+        trace = read_trace(path)
+        assert trace.schema == TRACE_SCHEMA
+        assert trace.header["shape"] == [8, 8]
+        assert trace.header["steps"] == sim.stats.steps
+        assert len(trace.steps) == sim.stats.steps
+        assert len(trace.events) == len(sim.schedule.events)
+        assert len(trace.convergence) == len(sim.stats.convergence)
+        assert trace.summary == sim.stats.summary()
+        # The per-step series sum to the aggregates through the file too.
+        assert sum(trace.series("finished")) == trace.summary["messages"]
+        assert sum(trace.series("delivered")) == round(
+            trace.summary["messages"] * trace.summary["delivery_rate"]
+        )
+        assert sum(trace.series("blocked_hops")) == trace.summary["blocked_hops"]
+
+    def test_read_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "step"}\n')
+        with pytest.raises(ValueError, match="no trace header"):
+            read_trace(str(path))
+        path.write_text('{"kind": "header", "schema": "other/v9"}\n')
+        with pytest.raises(ValueError, match="unsupported trace schema"):
+            read_trace(str(path))
+
+    def test_report_renders_and_checks_totals(self, tmp_path):
+        recorder = StepRecorder()
+        sim = _contended_sim(recorder=recorder)
+        sim.run()
+        path = str(tmp_path / "run.jsonl")
+        write_trace(path, sim)
+        assert sniff_kind(path) == "trace"
+        report = render_trace_report(read_trace(path))
+        assert "per-step series" in report
+        assert "totals check" in report
+        assert "MISMATCH" not in report
+
+
+class TestWindowSampleParity:
+    def test_samples_match_inline_reference(self):
+        """Recorder-sliced window samples == the historic mark-and-diff."""
+        windows = MeasurementWindows(warmup=40, measure=100, drain=200, sample_every=32)
+
+        def build_source():
+            return OpenLoopSource(
+                Mesh((6, 6)),
+                make_injection("bernoulli", 0.02),
+                pattern="uniform",
+                seed=5,
+                flits=32,
+            )
+
+        config = SimulationConfig(
+            contention=True, router="limited-global", max_steps=10**9,
+            max_probe_lifetime=12,
+        )
+        result = measure_open_loop(
+            build_source().mesh, build_source(), config=config, windows=windows
+        )
+
+        # Reference: the pre-recorder inline sampling loop, verbatim.
+        source = build_source()
+        source.stop = windows.injection_stop
+        sim = Simulator(source.mesh, traffic=source, config=config)
+        reference = []
+
+        def marks():
+            return (
+                source.generated,
+                len(sim.stats.messages),
+                sum(1 for r in sim.stats.messages if r.delivered),
+                sim.stats.circuit_link_steps,
+            )
+
+        mark, mark_step = marks(), 0
+        while sim.current_step < windows.horizon:
+            if sim.current_step >= windows.injection_stop and sim.in_flight == 0:
+                break
+            sim.step()
+            now = sim.current_step
+            if now == windows.warmup:
+                mark, mark_step = marks(), now
+            elif windows.warmup < now <= windows.injection_stop and (
+                (now - windows.warmup) % windows.sample_every == 0
+                or now == windows.injection_stop
+            ):
+                injected, finished, delivered, link_steps = marks()
+                reference.append(
+                    (
+                        mark_step,
+                        injected - mark[0],
+                        finished - mark[1],
+                        delivered - mark[2],
+                        (link_steps - mark[3]) / (now - mark_step),
+                    )
+                )
+                mark, mark_step = (injected, finished, delivered, link_steps), now
+
+        produced = [
+            (s.start_step, s.injected, s.finished, s.delivered, s.mean_reserved_links)
+            for s in result.samples
+        ]
+        assert produced == reference
+
+    def test_zero_warmup_and_ragged_tail(self):
+        windows = MeasurementWindows(warmup=0, measure=50, drain=100, sample_every=32)
+        source = OpenLoopSource(
+            Mesh((5, 5)),
+            make_injection("bernoulli", 0.02),
+            pattern="uniform",
+            seed=2,
+        )
+        result = measure_open_loop(
+            source.mesh,
+            source,
+            config=SimulationConfig(
+                contention=True, router="limited-global", max_steps=10**9,
+                max_probe_lifetime=10,
+            ),
+            windows=windows,
+        )
+        starts = [s.start_step for s in result.samples]
+        assert starts == [0, 32]  # boundaries 0, 32, 50 (ragged last window)
+        assert sum(s.injected for s in result.samples) == result.injected
+
+
+class TestSummaryLatencies:
+    def test_percentile_nearest_rank(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([7], 0.99) == 7.0
+        assert percentile([1, 2, 3, 4], 0.5) == 2.0
+        assert percentile([1, 2, 3, 4], 0.99) == 4.0
+
+    def test_summary_latency_keys(self):
+        sim = _contended_sim()
+        sim.run()
+        summary = sim.stats.summary()
+        latencies = sim.stats.setup_latencies()
+        assert summary["mean_latency"] == pytest.approx(
+            sum(latencies) / len(latencies)
+        )
+        assert summary["p50_latency"] == percentile(latencies, 0.50)
+        assert summary["p99_latency"] == percentile(latencies, 0.99)
+
+
+class TestSweepTelemetry:
+    def _spec(self):
+        return ExperimentSpec(
+            name="telemetry-test",
+            mode="simulate",
+            mesh_shapes=((5, 5),),
+            policies=("limited-global",),
+            fault_counts=(2,),
+            fault_intervals=(10,),
+            lams=(2,),
+            traffic_sizes=(6,),
+            seeds=(0, 1),
+        )
+
+    def test_run_batch_attaches_telemetry(self):
+        batch = run_batch(self._spec(), workers=1, engine="auto")
+        telemetry = batch.telemetry
+        assert telemetry is not None
+        assert telemetry.cells == 2
+        assert telemetry.wall_seconds > 0.0
+        assert telemetry.shards and telemetry.shards[0].kind == "stacked"
+        assert 0.0 <= telemetry.worker_utilization <= 1.0
+        assert telemetry.cache is None
+
+    def test_telemetry_excluded_from_canonical_json(self):
+        auto = run_batch(self._spec(), workers=1, engine="auto")
+        serial = run_batch(self._spec(), workers=1, engine="serial")
+        # Wall clocks differ; the canonical export must not.
+        assert auto.telemetry is not None and serial.telemetry is not None
+        assert auto.telemetry.wall_seconds != serial.telemetry.wall_seconds or True
+        assert auto.to_json() == serial.to_json()
+        assert "telemetry" not in auto.to_dict()
+        assert "telemetry" not in json.loads(auto.to_json())
+
+    def test_cache_stats_in_telemetry(self, tmp_path):
+        from repro.experiments import ResultCache
+
+        cache = ResultCache(tmp_path)
+        cold = run_batch(self._spec(), cache=cache)
+        assert cold.telemetry.cache == {
+            "hits": 0, "misses": 2, "writes": 2, "invalid": 0,
+        }
+        warm_cache = ResultCache(tmp_path)
+        warm = run_batch(self._spec(), cache=warm_cache)
+        assert warm.telemetry.cache == {
+            "hits": 2, "misses": 0, "writes": 0, "invalid": 0,
+        }
+        assert [s.kind for s in warm.telemetry.shards] == ["cached"]
+        assert cold.to_json() == warm.to_json()
+
+    def test_payload_round_trip_and_report(self):
+        telemetry = SweepTelemetry(
+            engine="auto",
+            workers=2,
+            cells=8,
+            wall_seconds=2.0,
+            shards=(
+                ShardRecord(kind="stacked", cells=6, seconds=1.5, landed_seconds=1.6),
+                ShardRecord(kind="serial", cells=2, seconds=1.0, landed_seconds=1.9),
+            ),
+            cache={"hits": 1, "misses": 7, "writes": 7, "invalid": 0},
+        )
+        assert telemetry.busy_seconds == 2.5
+        assert telemetry.worker_utilization == pytest.approx(2.5 / 4.0)
+        payload = telemetry.to_dict()
+        assert payload["telemetry"]["version"] == 1
+        assert SweepTelemetry.from_dict(payload) == telemetry
+        with pytest.raises(ValueError, match="unsupported telemetry version"):
+            SweepTelemetry.from_dict({"telemetry": {"version": 99}})
+        report = render_telemetry_report(telemetry)
+        assert "utilization 62%" in report
+        assert "1 hits / 8 lookups" in report
+
+    def test_utilization_caps_and_degenerate(self):
+        empty = SweepTelemetry(engine="serial", workers=0, cells=0, wall_seconds=0.0)
+        assert empty.worker_utilization == 0.0
+        busy = SweepTelemetry(
+            engine="serial",
+            workers=1,
+            cells=1,
+            wall_seconds=1.0,
+            shards=(ShardRecord("serial", 1, 99.0, 1.0),),
+        )
+        assert busy.worker_utilization == 1.0  # clamped
+
+
+class TestSparkline:
+    def test_empty_and_constant(self):
+        assert sparkline([]) == ""
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_shape_and_downsampling(self):
+        line = sparkline(list(range(8)))
+        assert len(line) == 8
+        assert line[0] == "▁" and line[-1] == "█"
+        assert sorted(line) == list(line)  # monotone series, monotone bars
+        wide = sparkline(list(range(1000)), width=40)
+        assert len(wide) == 40
+        with pytest.raises(ValueError):
+            sparkline([1], width=0)
