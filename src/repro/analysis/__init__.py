@@ -7,7 +7,9 @@
 * :mod:`repro.analysis.metrics` — routing-quality metrics, policy
   comparison tables and the memory-footprint accounting;
 * :mod:`repro.analysis.throughput` — load-curve tables over throughput-mode
-  experiment batches and the monotone/flattening shape checks.
+  experiment batches and the monotone/flattening shape checks;
+* :mod:`repro.analysis.slo` — per-fault-event recovery SLOs (throughput dip
+  depth, time-to-recover, p99 setup-latency excursion) off per-step series.
 """
 
 from repro.analysis.convergence import (
@@ -32,6 +34,14 @@ from repro.analysis.metrics import (
     limited_global_cells,
     summarize_routes,
 )
+from repro.analysis.slo import (
+    EventSlo,
+    RecoverySlo,
+    compute_recovery_slo,
+    event_transient,
+    moving_average,
+    p99_excursion,
+)
 from repro.analysis.throughput import (
     CURVE_COLUMNS,
     flattens,
@@ -43,13 +53,19 @@ __all__ = [
     "CURVE_COLUMNS",
     "ConvergenceMeasurement",
     "DetourBoundParameters",
+    "EventSlo",
     "PolicyComparison",
+    "RecoverySlo",
     "compare_policies",
+    "compute_recovery_slo",
     "contention_row",
+    "event_transient",
     "expected_boundary_rounds",
     "expected_identification_rounds",
     "expected_labeling_rounds",
     "flattens",
+    "moving_average",
+    "p99_excursion",
     "global_table_cells",
     "is_monotone_nondecreasing",
     "limited_global_cells",

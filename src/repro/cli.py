@@ -269,7 +269,22 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--lam", type=_parse_int_list, default=(2,), help="information rounds per step (λ)")
     sweep.add_argument("--messages", type=_parse_int_list, default=(12,), help="routing messages per cell")
     sweep.add_argument("--seeds", type=_parse_int_list, default=(0,), help="replicate seeds, e.g. 0,1,2")
+    sweep.add_argument(
+        "--fault-rate", type=_parse_float_list, default=(0.0,),
+        help="throughput mode: dynamic MTBF fault rates per step (sweepable "
+        "axis, e.g. 0.0,0.02; 0 = static faults only)",
+    )
+    sweep.add_argument(
+        "--repair-after", type=int, default=0,
+        help="throughput mode: repair each dynamic fault this many steps "
+        "after it occurs (0 = permanent)",
+    )
     sweep.add_argument("--workers", type=int, default=1, help="worker processes (1 = serial)")
+    sweep.add_argument(
+        "--shard-timeout", type=float, default=None,
+        help="pool inactivity budget in seconds: if no shard completes for "
+        "this long the pool is abandoned and the rest runs in-process",
+    )
     sweep.add_argument(
         "--engine",
         choices=ENGINES,
@@ -356,6 +371,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "sweeping --rates",
     )
     throughput.add_argument("--faults", type=int, default=4, help="static fault count")
+    throughput.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="dynamic MTBF fault workload: per-step fault probability inside "
+        "the measurement window (0 = static faults only)",
+    )
+    throughput.add_argument(
+        "--repair-after", type=int, default=0,
+        help="repair each dynamic fault this many steps after it occurs "
+        "(0 = permanent)",
+    )
+    throughput.add_argument(
+        "--trace-out", default=None,
+        help="write the run's JSONL step trace (fault events included) here; "
+        "requires a single policy and a single rate",
+    )
     throughput.add_argument("--lam", type=int, default=2, help="information rounds per step (λ)")
     throughput.add_argument("--flits", type=int, default=64, help="message length in flits")
     throughput.add_argument("--warmup", type=int, default=64, help="warmup steps (uncounted)")
@@ -536,6 +566,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             seeds=args.seeds,
             contention=args.contention,
             flits=args.flits,
+            fault_rates=args.fault_rate,
+            repair_after=args.repair_after,
         )
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc))
@@ -550,7 +582,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         + (f", cache={cache.root}" if cache is not None else ""),
         file=sys.stderr,
     )
-    batch = run_batch(spec, workers=args.workers, engine=args.engine, cache=cache)
+    batch = run_batch(
+        spec,
+        workers=args.workers,
+        engine=args.engine,
+        cache=cache,
+        shard_timeout=args.shard_timeout,
+    )
     if cache is not None:
         stats = cache.stats
         print(
@@ -595,6 +633,42 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
     )
     seeds = args.seeds if args.seeds is not None else (args.seed,)
 
+    if args.trace_out:
+        if len(policies) != 1 or len(args.rates) != 1 or args.saturation:
+            raise argparse.ArgumentTypeError(
+                "--trace-out records one run: give a single --policy and a "
+                "single rate in --rates (and no --saturation)"
+            )
+        from repro.throughput import run_throughput_point
+
+        result = run_throughput_point(
+            shape,
+            policies[0],
+            args.scenario,
+            args.rates[0],
+            faults=args.faults,
+            lam=args.lam,
+            flits=args.flits,
+            seed=seeds[0],
+            injection=args.injection,
+            windows=windows,
+            fault_rate=args.fault_rate,
+            repair_after=args.repair_after,
+            trace_out=args.trace_out,
+        )
+        _print_curve(policies[0], [result.to_row()])
+        if result.slo is not None:
+            ttr = result.slo.time_to_recover
+            print(
+                f"  SLO over {result.fault_events} fault events: "
+                f"dip {result.slo.dip_depth:.0%}, time-to-recover "
+                f"{'never' if ttr < 0 else ttr}, "
+                f"p99 excursion {result.slo.p99_excursion:+.0f}, "
+                f"{result.fault_dropped} circuits fault-dropped"
+            )
+        print(f"wrote step trace to {args.trace_out}", file=sys.stderr)
+        return 0
+
     if args.saturation:
         for policy in policies:
             rate, probed = saturation_for_policy(
@@ -607,6 +681,8 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
                 seed=seeds[0],
                 injection=args.injection,
                 windows=windows,
+                fault_rate=args.fault_rate,
+                repair_after=args.repair_after,
             )
             print(f"policy {policy}: saturation rate ~ {rate:.4f} msg/node/step")
             _print_curve(policy, [p.__dict__ for p in probed])
@@ -625,6 +701,8 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
             injection=args.injection,
             windows=windows,
             workers=args.workers,
+            fault_rate=args.fault_rate,
+            repair_after=args.repair_after,
         )
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc))

@@ -957,6 +957,32 @@ class ProbeTable:
         keep[rows] = False
         self._compact(np.flatnonzero(keep))
 
+    def teardown_node(self, cell: int, node: Coord, t: int) -> None:
+        """Tear down ``cell``'s rows standing on or routed through ``node``.
+
+        The fault-event counterpart of the scalar engine's probe sweep
+        (``Simulator._teardown_node``): rows whose stack crosses the failed
+        node finish EXHAUSTED in insertion order, with the usual source
+        feedback and ledger release through the normal finish path — so the
+        flat-column engine stays byte-identical to the per-object one.
+        """
+        rows = np.flatnonzero(self._cell == cell)
+        if rows.size == 0:
+            return
+        node_idx = self.mesh.index_of(node)
+        depth = self._depth[rows]
+        onstack = (self._stack[rows] == node_idx) & (
+            np.arange(self._depth_cap)[None, :] < depth[:, None]
+        )
+        doomed = rows[onstack.any(axis=1)]
+        if doomed.size == 0:
+            return
+        for r in doomed.tolist():
+            self._finish_row(r, t)
+        keep = np.ones(len(self._cell), dtype=bool)
+        keep[doomed] = False
+        self._compact(np.flatnonzero(keep))
+
     def _compact(self, keep: np.ndarray) -> None:
         self._cell = self._cell[keep]
         self._src = self._src[keep]

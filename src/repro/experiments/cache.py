@@ -32,7 +32,9 @@ from repro.experiments.spec import ExperimentCell
 
 #: Bump when the on-disk entry layout or the metric semantics change in a
 #: way the fingerprint's other components would not capture.
-CACHE_FORMAT = 1
+#: v2: cell identity covers the dynamic fault workload (``fault_rate`` /
+#: ``repair_after``) and throughput rows may carry fault/SLO columns.
+CACHE_FORMAT = 2
 
 #: Environment variable naming the default cache directory.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"

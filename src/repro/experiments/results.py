@@ -44,6 +44,8 @@ class CellResult:
             "flits": self.cell.flits,
             "scenario": self.cell.scenario,
             "rate": self.cell.rate,
+            "fault_rate": self.cell.fault_rate,
+            "repair_after": self.cell.repair_after,
             "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
         }
 

@@ -36,7 +36,9 @@ from __future__ import annotations
 
 import atexit
 import os
+import signal
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from math import ceil
 from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -49,11 +51,16 @@ from repro.backend import resolve_backend
 from repro.core.block_construction import build_blocks
 from repro.experiments.cache import ResultCache
 from repro.experiments.results import BatchResult, CellResult
-from repro.experiments.shard import SERIAL_CHUNKS_PER_WORKER, Shard, plan_shards
+from repro.experiments.shard import (
+    SERIAL_CHUNKS_PER_WORKER,
+    Shard,
+    _split,
+    plan_shards,
+)
 from repro.experiments.spec import ExperimentCell, ExperimentSpec
 from repro.faults.injection import clustered_faults, dynamic_schedule, uniform_random_faults
 from repro.mesh.topology import Mesh
-from repro.obs.telemetry import ShardRecord, SweepTelemetry
+from repro.obs.telemetry import PoolIncident, ShardRecord, SweepTelemetry
 from repro.routing import resolve_router
 from repro.simulator.engine import SimulationConfig, Simulator
 from repro.workloads.congestion import (
@@ -218,6 +225,8 @@ def _run_throughput_cell(cell: ExperimentCell) -> Dict[str, float]:
         windows=MeasurementWindows(
             warmup=cell.warmup, measure=cell.measure, drain=cell.drain
         ),
+        fault_rate=cell.fault_rate,
+        repair_after=cell.repair_after,
     )
     return result.to_row()
 
@@ -238,6 +247,25 @@ def run_cell(cell: ExperimentCell) -> CellResult:
 # ---------------------------------------------------------------------- #
 # worker-side entry points (top-level so they pickle)
 # ---------------------------------------------------------------------- #
+#: Crash-injection hook for the pool-recovery tests: when this env var
+#: names an existing file, the first worker to execute a shard consumes
+#: the file and dies with SIGKILL — exactly the abrupt worker death that
+#: breaks a :class:`ProcessPoolExecutor`.  Subsequent shard executions
+#: find no file and run normally, so the retried work completes.
+CRASH_ENV_VAR = "REPRO_TEST_KILL_SHARD"
+
+
+def _maybe_crash_for_test() -> None:
+    sentinel = os.environ.get(CRASH_ENV_VAR)
+    if not sentinel:
+        return
+    try:
+        os.unlink(sentinel)
+    except OSError:
+        return  # another worker already consumed the crash
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
 def _execute_shard(
     shard: Shard, backend: Optional[str] = None
 ) -> Tuple[List[Tuple[int, CellResult]], float]:
@@ -251,6 +279,9 @@ def _execute_shard(
     """
     if backend is not None:
         os.environ[BACKEND_ENV_VAR] = backend
+        # Only pool-dispatched executions (backend pinned by the parent) are
+        # eligible to crash: the in-process degradation path must survive.
+        _maybe_crash_for_test()
     start = perf_counter()
     if shard.kind == "stacked":
         from repro.experiments.stacked import run_cells_stacked
@@ -295,7 +326,31 @@ def shutdown_pool() -> None:
         _POOL_WORKERS = 0
 
 
+def _abandon_pool() -> None:
+    """Discard a possibly-wedged pool without waiting on its workers.
+
+    ``shutdown(wait=True)`` would block on exactly the stuck worker that
+    triggered the inactivity timeout; cancel what can be cancelled and let
+    the executor's reaper collect the processes in the background.
+    """
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
 atexit.register(shutdown_pool)
+
+
+#: Pool rebuilds allowed per dispatch before degrading to in-process
+#: execution: a repeatedly crashing pool is not going to start working.
+MAX_POOL_REBUILDS = 2
+
+#: A shard is resubmitted at most this many times after a pool crash; a
+#: shard lost more often runs in-process instead (isolating a poison cell
+#: in the parent, where its failure is at least attributable).
+MAX_SHARD_ATTEMPTS = 2
 
 
 def _dispatch_shards(
@@ -305,45 +360,121 @@ def _dispatch_shards(
     *,
     batch_start: Optional[float] = None,
     records: Optional[List[ShardRecord]] = None,
+    incidents: Optional[List[PoolIncident]] = None,
+    shard_timeout: Optional[float] = None,
 ) -> int:
     """Run shards across the persistent pool, landing cells as shards finish.
 
     Completion-order delivery: ``wait(FIRST_COMPLETED)`` over shard
     futures, so the progress hook never stalls behind the slowest early
-    shard the way ``pool.map``'s submission-order iteration did.  A broken
-    pool (a worker died) is discarded so the next batch starts clean.
+    shard the way ``pool.map``'s submission-order iteration did.
+
+    Dispatch is fault tolerant: a broken pool (a worker process died and
+    poisoned the executor) is rebuilt and the lost shards resubmitted —
+    multi-cell shards split in half on their first loss, so a poison cell
+    ends up isolated in ever-smaller shards — with bounded retries
+    (:data:`MAX_SHARD_ATTEMPTS` per shard, :data:`MAX_POOL_REBUILDS`
+    rebuilds) before the remaining work degrades to in-process serial
+    execution.  ``shard_timeout`` is an *inactivity* budget in seconds: if
+    no shard completes for that long the pool is abandoned and the
+    outstanding shards run in-process.  Because cells are deterministic
+    pure functions, retried and degraded work lands byte-identical results;
+    every intervention is appended to ``incidents``.
+
     Appends one :class:`ShardRecord` per shard to ``records`` (worker-side
     seconds plus the parent-side landing offset from ``batch_start``) and
     returns the effective pool size.
     """
+
+    def landed_record(kind: str, pairs, seconds: float) -> None:
+        for index, result in pairs:
+            land(index, result)
+        if records is not None:
+            records.append(
+                ShardRecord(
+                    kind=kind,
+                    cells=len(pairs),
+                    seconds=seconds,
+                    landed_seconds=(
+                        perf_counter() - batch_start
+                        if batch_start is not None
+                        else 0.0
+                    ),
+                )
+            )
+
+    def run_inline(items: Sequence[Tuple[Shard, int]]) -> None:
+        for shard, _attempt in items:
+            pairs, seconds = _execute_shard(shard)
+            landed_record(shard.kind, pairs, seconds)
+
+    def note(kind: str, count: int, action: str) -> None:
+        if incidents is not None:
+            incidents.append(PoolIncident(kind=kind, shards=count, action=action))
+
     # Cap the pool at the work available: a 2-cell spec with workers=8
     # should not spawn 8 processes.
     workers = min(workers, len(shards))
-    pool = _shared_pool(workers)
     backend = resolve_backend()
+    rebuilds = 0
+    pool = _shared_pool(workers)
+    pending: Dict[Future, Tuple[Shard, int]] = {
+        pool.submit(_execute_shard, shard, backend): (shard, 0) for shard in shards
+    }
     try:
-        futures: Dict[Future, Shard] = {
-            pool.submit(_execute_shard, shard, backend): shard for shard in shards
-        }
-        pending = set(futures)
         while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            done, _ = wait(
+                pending, timeout=shard_timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                # Inactivity: nothing completed within the budget.  The
+                # pool may be wedged (a worker stuck in native code never
+                # breaks the executor) — abandon it and finish in-process.
+                outstanding = list(pending.values())
+                pending.clear()
+                note("timeout", len(outstanding), "serial")
+                _abandon_pool()
+                run_inline(outstanding)
+                break
+            lost: List[Tuple[Shard, int]] = []
             for future in done:
-                pairs, seconds = future.result()
-                for index, result in pairs:
-                    land(index, result)
-                if records is not None:
-                    records.append(
-                        ShardRecord(
-                            kind=futures[future].kind,
-                            cells=len(pairs),
-                            seconds=seconds,
-                            landed_seconds=(
-                                perf_counter() - batch_start
-                                if batch_start is not None
-                                else 0.0
-                            ),
+                shard, attempt = pending.pop(future)
+                try:
+                    pairs, seconds = future.result()
+                except BrokenProcessPool:
+                    lost.append((shard, attempt))
+                    continue
+                landed_record(shard.kind, pairs, seconds)
+            if not lost:
+                continue
+            # A dead worker breaks the whole executor: every still-pending
+            # future is doomed too.  Collect all outstanding work, rebuild
+            # the pool once, and resubmit — splitting multi-cell shards on
+            # their first loss so a deterministic crasher gets isolated.
+            lost.extend(pending.values())
+            pending.clear()
+            shutdown_pool()
+            rebuilds += 1
+            if rebuilds > MAX_POOL_REBUILDS:
+                note("pool-broken", len(lost), "serial")
+                run_inline(lost)
+                break
+            note("pool-broken", len(lost), "retried")
+            pool = _shared_pool(workers)
+            for shard, attempt in lost:
+                if attempt >= MAX_SHARD_ATTEMPTS:
+                    run_inline([(shard, attempt)])
+                elif attempt == 0 and len(shard.cells) > 1:
+                    for chunk in _split(shard.cells, 2):
+                        half = Shard(kind=shard.kind, cells=chunk)
+                        pending[pool.submit(_execute_shard, half, backend)] = (
+                            half,
+                            attempt + 1,
                         )
+                else:
+                    pending[pool.submit(_execute_shard, shard, backend)] = (
+                        shard,
+                        attempt + 1,
                     )
     except BaseException:
         shutdown_pool()
@@ -358,6 +489,8 @@ def _run_serial_engine(
     *,
     batch_start: Optional[float] = None,
     records: Optional[List[ShardRecord]] = None,
+    incidents: Optional[List[PoolIncident]] = None,
+    shard_timeout: Optional[float] = None,
 ) -> int:
     """The ``engine="serial"`` path: per-cell execution, optionally fanned
     out as explicitly chunked serial shards (no stacking)."""
@@ -385,7 +518,13 @@ def _run_serial_engine(
         for start in range(0, len(pending), chunksize)
     ]
     return _dispatch_shards(
-        shards, workers, land, batch_start=batch_start, records=records
+        shards,
+        workers,
+        land,
+        batch_start=batch_start,
+        records=records,
+        incidents=incidents,
+        shard_timeout=shard_timeout,
     )
 
 
@@ -396,6 +535,7 @@ def run_batch(
     engine: str = "auto",
     cache: Optional[ResultCache] = None,
     on_cell_done: Optional[Callable[[CellResult], None]] = None,
+    shard_timeout: Optional[float] = None,
 ) -> BatchResult:
     """Run every cell of ``spec`` and collect the results in grid order.
 
@@ -414,6 +554,13 @@ def run_batch(
     lands.  ``on_cell_done`` is invoked with every finished result in
     completion order (cache hits first).
 
+    Pool dispatch is fault tolerant (see :func:`_dispatch_shards`): crashed
+    workers trigger a pool rebuild and shard resubmission, and
+    ``shard_timeout`` seconds of pool inactivity degrade the remaining work
+    to in-process execution — either way the batch completes with results
+    byte-identical to an undisturbed run, and every intervention is
+    recorded in ``result.telemetry.incidents``.
+
     The returned batch carries a
     :class:`~repro.obs.telemetry.SweepTelemetry` (per-shard wall times,
     worker utilization, cache hit counts) on ``result.telemetry`` —
@@ -425,6 +572,7 @@ def run_batch(
     cells = spec.cells()
     results: List[Optional[CellResult]] = [None] * len(cells)
     shard_records: List[ShardRecord] = []
+    pool_incidents: List[PoolIncident] = []
     effective_workers = 1
 
     def land(index: int, result: CellResult, *, fresh: bool = True) -> None:
@@ -462,6 +610,8 @@ def run_batch(
                 land,
                 batch_start=batch_start,
                 records=shard_records,
+                incidents=pool_incidents,
+                shard_timeout=shard_timeout,
             )
         elif workers <= 1:
             # auto/stacked, single process: stack eligible cells in-process
@@ -481,7 +631,13 @@ def run_batch(
         else:
             shards = plan_shards(pending, workers=workers)
             effective_workers = _dispatch_shards(
-                shards, workers, land, batch_start=batch_start, records=shard_records
+                shards,
+                workers,
+                land,
+                batch_start=batch_start,
+                records=shard_records,
+                incidents=pool_incidents,
+                shard_timeout=shard_timeout,
             )
 
     telemetry = SweepTelemetry(
@@ -491,5 +647,6 @@ def run_batch(
         wall_seconds=perf_counter() - batch_start,
         shards=tuple(shard_records),
         cache=cache.stats.to_dict() if cache is not None else None,
+        incidents=tuple(pool_incidents),
     )
     return BatchResult.assemble(spec, results, telemetry=telemetry)

@@ -108,6 +108,12 @@ class ExperimentCell:
     measure: int = 256
     drain: int = 512
 
+    #: Dynamic MTBF fault workload inside the measurement window (throughput
+    #: mode only): per-step fault probability, and how many steps later each
+    #: fault is repaired (0 = permanent).
+    fault_rate: float = 0.0
+    repair_after: int = 0
+
     def identity(self) -> dict:
         """Every parameter that determines this cell's result, JSON-shaped.
 
@@ -136,18 +142,21 @@ class ExperimentCell:
             "warmup": self.warmup,
             "measure": self.measure,
             "drain": self.drain,
+            "fault_rate": self.fault_rate,
+            "repair_after": self.repair_after,
         }
 
     def config_key(self) -> Tuple[object, ...]:
         """The configuration axes (everything except the policy).
 
-        The ``rate`` is part of the key — cells at different rates are
-        different configurations — but like the policy it is *excluded* from
-        the cell-seed derivation, so every point of a load curve shares one
-        fault layout and random stream.
+        The ``rate`` and ``fault_rate`` are part of the key — cells at
+        different rates are different configurations — but like the policy
+        they are *excluded* from the cell-seed derivation, so every point of
+        a load curve shares one static fault layout and random stream.
         """
         return (self.mode, self.shape, self.scenario, self.faults, self.interval,
-                self.lam, self.messages, self.flits, self.rate, self.seed)
+                self.lam, self.messages, self.flits, self.rate, self.seed,
+                self.fault_rate, self.repair_after)
 
 
 def _int_axis(value: Union[int, Iterable[int]]) -> Tuple[int, ...]:
@@ -168,9 +177,10 @@ class ExperimentSpec:
 
     Every axis is a tuple; :meth:`cells` expands the cartesian product in a
     fixed order (shape, scenario, faults, interval, λ, messages, flits,
-    rate, seed, policy — policy innermost so comparable cells sit next to
-    each other).  ``flits`` and ``scenario`` are first-class axes; a scalar
-    ``flits`` is accepted and normalized to a one-element axis.
+    rate, fault_rate, seed, policy — policy innermost so comparable cells
+    sit next to each other).  ``flits`` and ``scenario`` are first-class
+    axes; a scalar ``flits`` is accepted and normalized to a one-element
+    axis.
     """
 
     name: str = "sweep"
@@ -207,6 +217,11 @@ class ExperimentSpec:
     measure: int = 256
     drain: int = 512
 
+    #: Dynamic MTBF fault-rate axis (throughput mode; 0.0 = static faults
+    #: only) and the shared repair delay in steps (0 = permanent faults).
+    fault_rates: Union[float, Tuple[float, ...]] = (0.0,)
+    repair_after: int = 0
+
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "mesh_shapes", tuple(tuple(int(r) for r in s) for s in self.mesh_shapes)
@@ -216,6 +231,7 @@ class ExperimentSpec:
             object.__setattr__(self, attr, tuple(getattr(self, attr)))
         object.__setattr__(self, "flits", _int_axis(self.flits))
         object.__setattr__(self, "rates", _float_axis(self.rates))
+        object.__setattr__(self, "fault_rates", _float_axis(self.fault_rates))
         if self.mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
         if not self.scenarios:
@@ -279,6 +295,17 @@ class ExperimentSpec:
             raise ValueError(
                 "rates is a throughput-mode axis; give a single value otherwise"
             )
+        for fault_rate in self.fault_rates:
+            if not 0.0 <= fault_rate < 1.0:
+                raise ValueError("fault_rates must be within [0, 1)")
+        if self.repair_after < 0:
+            raise ValueError("repair_after must be non-negative")
+        if self.mode != "throughput" and (
+            len(self.fault_rates) > 1 or self.fault_rates[0] > 0.0
+        ):
+            raise ValueError(
+                "fault_rates is a throughput-mode axis; leave it at 0.0 otherwise"
+            )
         if self.mode == "throughput" and (
             len(self.fault_intervals) > 1 or len(self.traffic_sizes) > 1
         ):
@@ -295,8 +322,8 @@ class ExperimentSpec:
         return (
             len(self.mesh_shapes) * len(self.scenarios) * len(self.fault_counts)
             * len(self.fault_intervals) * len(self.lams) * len(self.traffic_sizes)
-            * len(self.flits) * len(self.rates) * len(self.seeds)
-            * len(self.policies)
+            * len(self.flits) * len(self.rates) * len(self.fault_rates)
+            * len(self.seeds) * len(self.policies)
         )
 
     def cells(self) -> List[ExperimentCell]:
@@ -305,16 +332,17 @@ class ExperimentSpec:
 
     def iter_cells(self) -> Iterator[ExperimentCell]:
         index = 0
-        for shape, scenario, faults, interval, lam, messages, flits, rate, seed in product(
+        for shape, scenario, faults, interval, lam, messages, flits, rate, fault_rate, seed in product(
             self.mesh_shapes, self.scenarios, self.fault_counts,
             self.fault_intervals, self.lams, self.traffic_sizes,
-            self.flits, self.rates, self.seeds,
+            self.flits, self.rates, self.fault_rates, self.seeds,
         ):
             rate = rate if self.mode == "throughput" else 0.0
-            # The rate is excluded from the derivation (like the policy): all
-            # points of one load curve share the same fault layout and the
-            # same underlying random stream (a Bernoulli source thresholds
-            # identical draws), so the curve varies only with the load.
+            # The rate and fault_rate are excluded from the derivation (like
+            # the policy): all points of one load curve share the same static
+            # fault layout and the same underlying random stream (a Bernoulli
+            # source thresholds identical draws), so the curve varies only
+            # with the load and the dynamic fault process.
             cell_seed = derive_cell_seed(
                 self.name, self.mode, shape, scenario, faults, interval, lam,
                 messages, flits, seed,
@@ -339,6 +367,8 @@ class ExperimentSpec:
                     warmup=self.warmup,
                     measure=self.measure,
                     drain=self.drain,
+                    fault_rate=fault_rate,
+                    repair_after=self.repair_after,
                 )
                 index += 1
 
@@ -362,5 +392,7 @@ class ExperimentSpec:
             "warmup": self.warmup,
             "measure": self.measure,
             "drain": self.drain,
+            "fault_rates": list(self.fault_rates),
+            "repair_after": self.repair_after,
             "cell_count": self.cell_count,
         }

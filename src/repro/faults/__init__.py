@@ -23,19 +23,29 @@ from repro.faults.injection import (
 from repro.faults.links import LinkFault, LinkFaultSet, endpoints_as_node_faults
 from repro.faults.schedule import DynamicFaultSchedule, FaultEvent, FaultEventKind
 from repro.faults.status import NodeStatus
+from repro.faults.workload import (
+    FaultWorkload,
+    burst_schedule,
+    mtbf_schedule,
+    workload_schedule,
+)
 
 __all__ = [
     "DynamicFaultSchedule",
     "FaultEvent",
     "FaultEventKind",
     "FaultInjectionError",
+    "FaultWorkload",
     "LinkFault",
     "LinkFaultSet",
     "NodeStatus",
     "block_seed_faults",
+    "burst_schedule",
     "clustered_faults",
     "dynamic_schedule",
     "endpoints_as_node_faults",
+    "mtbf_schedule",
     "recovery_schedule",
     "uniform_random_faults",
+    "workload_schedule",
 ]

@@ -43,6 +43,7 @@ CUMULATIVE_COLUMNS: Tuple[str, ...] = (
     "blocked_hops_total",
     "setup_retries_total",
     "link_steps_total",
+    "fault_dropped_total",
 )
 
 #: End-of-step levels, recorded as-is.
@@ -162,6 +163,7 @@ class StepRecorder:
         columns["blocked_hops_total"][i] = self._fin_blocked + blk
         columns["setup_retries_total"][i] = self._fin_retries + rty
         columns["link_steps_total"][i] = stats.circuit_link_steps
+        columns["fault_dropped_total"][i] = stats.fault_dropped_circuits
         columns["in_flight"][i] = in_flight
         columns["waiting"][i] = waiting
         columns["reserved_links"][i] = (

@@ -15,8 +15,9 @@
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.slo import compute_recovery_slo
 from repro.obs.telemetry import SweepTelemetry
 from repro.obs.trace import Trace, read_trace
 from repro.viz.ascii import sparkline
@@ -36,6 +37,7 @@ _TRACE_SERIES: Tuple[str, ...] = (
     "reserved_links",
     "blocked_hops",
     "setup_retries",
+    "fault_dropped",
 )
 
 #: (delta series in the trace, aggregate key in the summary) pairs whose
@@ -45,6 +47,7 @@ _TOTALS_CHECKS: Tuple[Tuple[str, str], ...] = (
     ("blocked_hops", "blocked_hops"),
     ("setup_retries", "setup_retries"),
     ("link_steps", "mean_reserved_links"),  # summed vs mean x steps
+    ("fault_dropped", "fault_dropped"),
 )
 
 
@@ -108,6 +111,72 @@ def _check_totals(trace: Trace) -> List[str]:
     return lines
 
 
+def _event_marker_line(trace: Trace, width: int) -> Optional[str]:
+    """Markers aligned under the sparklines: ``^`` fault, ``+`` recovery.
+
+    Positions follow the sparkline's downsampling (step ``i`` of ``n``
+    lands in glyph ``i * width // n`` once the series is wider than
+    ``width``), so a marker sits under the glyph averaging its step.
+    """
+    n = len(trace.steps)
+    if not n or not trace.events:
+        return None
+    first = trace.steps[0].get("step", 0)
+    chars = min(n, width)
+    row = [" "] * chars
+    for event in trace.events:
+        i = event.get("t", 0) - first
+        if not 0 <= i < n:
+            continue
+        pos = i if n <= width else i * width // n
+        mark = "^" if event.get("event") == "fault" else "+"
+        if row[pos] != "^":  # faults win a shared glyph
+            row[pos] = mark
+    if not any(c != " " for c in row):
+        return None
+    return "".join(row)
+
+
+def _slo_section(trace: Trace) -> List[str]:
+    """Recovery SLOs recomputed from the trace's own per-step series."""
+    faults = [e for e in trace.events if e.get("event") == "fault"]
+    if not faults or not trace.steps or "delivered" not in trace.steps[0]:
+        return []
+    first = trace.steps[0].get("step", 0)
+    delivered = [float(v) for v in trace.series("delivered")]
+    dropped = (
+        [float(v) for v in trace.series("fault_dropped")]
+        if "fault_dropped" in trace.steps[0]
+        else [0.0] * len(delivered)
+    )
+    slo = compute_recovery_slo(
+        delivered,
+        dropped,
+        [(e.get("t", 0) - first, tuple(e.get("node", ()))) for e in faults],
+    )
+    lines = ["", f"recovery SLOs ({len(slo.events)} fault events)"]
+    for event in slo.events:
+        node = ",".join(str(c) for c in event.node)
+        recover = (
+            f"recovered in {event.time_to_recover} steps"
+            if event.recovered
+            else "never recovered"
+        )
+        lines.append(
+            f"  t={event.time + first:>5}  ({node})  "
+            f"dip {event.dip_depth:.0%} of baseline {event.baseline:.2f}  "
+            f"{recover}  dropped {event.fault_dropped}"
+        )
+    worst_ttr = (
+        f"{slo.time_to_recover}" if slo.time_to_recover >= 0 else "never"
+    )
+    lines.append(
+        f"  worst: dip {slo.dip_depth:.0%}  time-to-recover {worst_ttr}  "
+        f"dropped {slo.fault_dropped} circuits"
+    )
+    return lines
+
+
 def render_trace_report(trace: Trace, *, width: int = 60) -> str:
     """The full ASCII report of one parsed trace."""
     header = trace.header
@@ -138,6 +207,10 @@ def render_trace_report(trace: Trace, *, width: int = 60) -> str:
                 f"  {name:<15} {sparkline(series, width=width)}  "
                 f"min {min(series):g} max {max(series):g}"
             )
+        markers = _event_marker_line(trace, width)
+        if markers is not None:
+            lines.append(f"  {'events':<15} {markers}  (^ fault, + recovery)")
+        lines.extend(_slo_section(trace))
 
     if trace.convergence:
         lines.append("")
@@ -190,6 +263,14 @@ def render_telemetry_report(telemetry: SweepTelemetry) -> str:
         landings = [s.landed_seconds for s in telemetry.shards]
         if len(landings) > 1:
             lines.append(f"  landing order: {sparkline(landings, width=40)}")
+    if telemetry.incidents:
+        lines.append("")
+        lines.append(f"  incidents ({len(telemetry.incidents)})")
+        for incident in telemetry.incidents:
+            lines.append(
+                f"    {incident.kind:<12} {incident.shards} shard(s) -> "
+                f"{incident.action}"
+            )
     cache = telemetry.cache
     if cache is not None:
         lookups = cache.get("hits", 0) + cache.get("misses", 0)

@@ -16,10 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["TELEMETRY_VERSION", "ShardRecord", "SweepTelemetry"]
+__all__ = ["TELEMETRY_VERSION", "PoolIncident", "ShardRecord", "SweepTelemetry"]
 
 #: Version of the ``telemetry`` payload layout; bump on shape changes.
-TELEMETRY_VERSION = 1
+#: v2 added the ``incidents`` list (pool crash/timeout recovery records).
+TELEMETRY_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -47,6 +48,26 @@ class ShardRecord:
 
 
 @dataclass(frozen=True)
+class PoolIncident:
+    """One fault-tolerance intervention during pool dispatch.
+
+    ``kind`` names what went wrong (``"pool-broken"`` — a worker process
+    died and took the executor with it; ``"timeout"`` — no shard completed
+    within the inactivity budget); ``shards`` counts the work items that
+    were outstanding; ``action`` is the recovery taken (``"retried"`` —
+    pool rebuilt and shards resubmitted, ``"serial"`` — remaining shards
+    degraded to in-process execution).
+    """
+
+    kind: str  #: "pool-broken" | "timeout"
+    shards: int
+    action: str  #: "retried" | "serial"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "shards": self.shards, "action": self.action}
+
+
+@dataclass(frozen=True)
 class SweepTelemetry:
     """Execution telemetry for one ``run_batch`` invocation."""
 
@@ -56,6 +77,8 @@ class SweepTelemetry:
     wall_seconds: float
     shards: Tuple[ShardRecord, ...] = ()
     cache: Optional[Dict[str, int]] = field(default=None)
+    #: Pool fault-tolerance interventions (empty on an undisturbed run).
+    incidents: Tuple[PoolIncident, ...] = ()
 
     @property
     def busy_seconds(self) -> float:
@@ -85,6 +108,7 @@ class SweepTelemetry:
             "busy_seconds": self.busy_seconds,
             "worker_utilization": self.worker_utilization,
             "shards": [shard.to_dict() for shard in self.shards],
+            "incidents": [incident.to_dict() for incident in self.incidents],
         }
         if self.cache is not None:
             payload["cache"] = dict(self.cache)
@@ -92,10 +116,10 @@ class SweepTelemetry:
 
     @classmethod
     def from_dict(cls, data: dict) -> "SweepTelemetry":
-        """Parse a payload written by :meth:`to_dict`."""
+        """Parse a payload written by :meth:`to_dict` (v1 has no incidents)."""
         payload = data.get("telemetry", data)
         version = payload.get("version")
-        if version != TELEMETRY_VERSION:
+        if version not in (1, TELEMETRY_VERSION):
             raise ValueError(
                 f"unsupported telemetry version {version!r} "
                 f"(expected {TELEMETRY_VERSION})"
@@ -109,6 +133,10 @@ class SweepTelemetry:
             )
             for s in payload.get("shards", [])
         ]
+        incidents = [
+            PoolIncident(kind=i["kind"], shards=i["shards"], action=i["action"])
+            for i in payload.get("incidents", [])
+        ]
         return cls(
             engine=payload["engine"],
             workers=payload["workers"],
@@ -116,4 +144,5 @@ class SweepTelemetry:
             wall_seconds=payload["wall_seconds"],
             shards=tuple(shards),
             cache=payload.get("cache"),
+            incidents=tuple(incidents),
         )

@@ -315,6 +315,25 @@ class LiveCircuitLedger:
             released += 1
         return released
 
+    def release_crossing(self, node: Sequence[int]) -> int:
+        """Release every holder with a link incident to ``node``; returns count.
+
+        The teardown hook for a node fault: any reservation standing on a
+        link into or out of the failed node is dropped in one call, whether
+        it belongs to an in-setup probe or a circuit in its transfer hold.
+        A torn-down transfer hold leaves its heap entry behind; the later
+        timed release finds nothing held and is a no-op.
+        """
+        target = tuple(node)
+        doomed = [
+            holder
+            for holder, held in self._held.items()
+            if any(target in link for link in held)
+        ]
+        for holder in doomed:
+            self.release(holder)
+        return len(doomed)
+
     @property
     def reserved_links(self) -> int:
         """Number of links currently reserved (setup + transfer)."""
@@ -494,6 +513,25 @@ class ArrayCircuitLedger:
         heapq.heappush(self._expiries, (release_step, holder))
         for index in self._held.get(holder, ()):
             self._release[index] = release_step
+
+    def release_crossing(self, node: Sequence[int]) -> int:
+        """Release every holder with a link incident to ``node``; returns count.
+
+        Same teardown semantics as the dict ledger: releasing through
+        :meth:`release` resets the release column for the dropped links, so
+        the stale ``_expiries`` heap entry of a torn-down transfer hold is a
+        no-op when it comes due.
+        """
+        target = tuple(node)
+        link_of_index = self.mesh.link_of_index
+        doomed = [
+            holder
+            for holder, held in self._held.items()
+            if any(target in link_of_index(index) for index in held)
+        ]
+        for holder in doomed:
+            self.release(holder)
+        return len(doomed)
 
     def release_expired(self, step: int) -> int:
         """Release every timed hold due at ``step``; returns how many."""

@@ -389,6 +389,7 @@ class Simulator:
         for event in self.schedule.events_at(t):
             if event.kind is FaultEventKind.FAULT:
                 self.info.labeling.make_faulty(event.node)
+                self._teardown_node(event.node, t)
             else:
                 self.info.labeling.recover(event.node)
             self._labeling_dirty = True
@@ -396,6 +397,41 @@ class Simulator:
             self._pending_convergence.append(
                 ConvergenceRecord(event=event, detected_step=t)
             )
+
+    def _teardown_node(self, node: Coord, t: int) -> None:
+        """Tear down everything standing on or routed through a failed node.
+
+        Runs inside fault detection, so the circuit state is clean of the
+        dead node *within the same step* the fault fires: every in-flight
+        probe whose partial circuit crosses the node finishes EXHAUSTED (its
+        message goes back to the source for retry through the usual finish
+        feedback), and every delivered circuit still holding a link into the
+        node is dropped mid-transfer and counted as fault-dropped.  Probe
+        reservations lie entirely along probe stacks, so after the probe
+        sweep every remaining holder incident to the node is a transfer
+        hold — :meth:`~repro.pcs.circuit.LiveCircuitLedger.release_crossing`
+        frees exactly those.
+        """
+        node = tuple(node)
+        if self._table is not None:
+            self._table.teardown_node(self._table_cell, node, t)
+        elif self._probes:
+            remaining: List[
+                Tuple[TrafficMessage, SetupProbe, int, Optional[LinkBlocked], bool]
+            ] = []
+            for entry in self._probes:
+                message, probe, holder, _blocked, _cacheable = entry
+                if node in getattr(probe, "circuit_stack", ()):
+                    if self.circuits is not None:
+                        self.circuits.release(holder)
+                    record = self._finish_probe(message, probe, finish_step=t)
+                    if self._message_finished is not None:
+                        self._message_finished(record)
+                else:
+                    remaining.append(entry)
+            self._probes = remaining
+        if self.circuits is not None:
+            self.stats.fault_dropped_circuits += self.circuits.release_crossing(node)
 
     def _step_information(
         self, t: int, prof: Optional["PhaseProfiler"] = None

@@ -144,6 +144,11 @@ class SimulationStats:
     #: partial circuit (the global router's deadlock-breaking policy).
     timeout_releases: int = 0
 
+    #: Delivered circuits torn down mid-transfer because a fault event hit a
+    #: node on their path (the message counts as fault-dropped: its data
+    #: transmission was cut short even though the setup had succeeded).
+    fault_dropped_circuits: int = 0
+
     def record_occupancy(self, reserved_links: int) -> None:
         """Fold one step's end-of-step reservation count into the totals."""
         self.circuit_link_steps += reserved_links
@@ -245,6 +250,7 @@ class SimulationStats:
             "mean_reserved_links": self.mean_reserved_links,
             "peak_reserved_links": float(self.peak_reserved_links),
             "timeout_releases": float(self.timeout_releases),
+            "fault_dropped": float(self.fault_dropped_circuits),
             "mean_latency": (sum(latencies) / len(latencies)) if latencies else 0.0,
             "p50_latency": percentile(latencies, 0.50),
             "p99_latency": percentile(latencies, 0.99),

@@ -28,11 +28,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.slo import RecoverySlo, compute_recovery_slo
 from repro.core.block_construction import build_blocks
 from repro.faults.injection import uniform_random_faults
 from repro.faults.schedule import DynamicFaultSchedule
+from repro.faults.workload import workload_schedule
 from repro.mesh.topology import Mesh
 from repro.obs.recorder import StepRecorder
+from repro.obs.trace import write_trace
 from repro.simulator.engine import SimulationConfig, Simulator
 from repro.simulator.stats import percentile
 from repro.throughput.injection import OpenLoopSource, make_injection
@@ -117,6 +120,15 @@ class ThroughputResult:
     #: Steps actually simulated (includes the drain).
     steps: int
 
+    #: Dynamic fault events fired during the run and the circuits they
+    #: dropped mid-transfer (0/0 for a static fault layout).
+    fault_events: int = 0
+    fault_dropped: int = 0
+
+    #: Per-event recovery SLOs (:class:`~repro.analysis.slo.RecoverySlo`);
+    #: ``None`` when the run had no dynamic fault events.
+    slo: Optional[RecoverySlo] = None
+
     @property
     def delivery_rate(self) -> float:
         """Delivered fraction of the measured messages (1.0 when none)."""
@@ -126,7 +138,7 @@ class ThroughputResult:
 
     def to_row(self) -> Dict[str, float]:
         """Flat metric dictionary (one experiment-cell row)."""
-        return {
+        row = {
             "rate": self.rate,
             "injected": float(self.injected),
             "delivered": float(self.delivered),
@@ -139,6 +151,14 @@ class ThroughputResult:
             "p99_setup_latency": self.p99_setup_latency,
             "steps": float(self.steps),
         }
+        if self.fault_events:
+            row["fault_events"] = float(self.fault_events)
+            row["fault_dropped"] = float(self.fault_dropped)
+            if self.slo is not None:
+                row["slo_dip_depth"] = self.slo.dip_depth
+                row["slo_time_to_recover"] = float(self.slo.time_to_recover)
+                row["slo_p99_excursion"] = self.slo.p99_excursion
+        return row
 
 
 def _window_samples(
@@ -185,6 +205,7 @@ def measure_open_loop(
     config: Optional[SimulationConfig] = None,
     windows: Optional[MeasurementWindows] = None,
     recorder: Optional[StepRecorder] = None,
+    trace_out: Optional[str] = None,
 ) -> ThroughputResult:
     """Run the three-phase open-loop measurement and aggregate the window.
 
@@ -192,7 +213,10 @@ def measure_open_loop(
     simulator then drains until every measured message finished or the
     drain budget is exhausted.  The per-window occupancy series is sliced
     from a :class:`~repro.obs.recorder.StepRecorder` attached to the
-    simulator (pass ``recorder`` to keep it — e.g. for a trace export).
+    simulator (pass ``recorder`` to keep it — e.g. for a trace export, or
+    ``trace_out`` to write the JSONL trace, fault/recovery events included,
+    directly).  A schedule with dynamic fault events additionally yields
+    the per-event recovery SLOs on the result.
     """
     windows = windows or MeasurementWindows()
     config = config or SimulationConfig(contention=True)
@@ -207,6 +231,9 @@ def measure_open_loop(
         if sim.current_step >= windows.injection_stop and sim.in_flight == 0:
             break  # drained: every injected message finished
         sim.step()
+
+    if trace_out is not None:
+        write_trace(trace_out, sim, recorder)
 
     samples = _window_samples(recorder, windows)
 
@@ -233,6 +260,20 @@ def measure_open_loop(
     generated_measured = source.generated_between(lo, hi)
     terminal_failed = 0 if getattr(source, "retry_failed", False) else failed_attempts
 
+    fault_events = schedule.fault_events if schedule is not None else []
+    slo: Optional[RecoverySlo] = None
+    if fault_events:
+        slo = compute_recovery_slo(
+            recorder.deltas("delivered_total").tolist(),
+            recorder.deltas("fault_dropped_total").tolist(),
+            [(e.time, e.node) for e in fault_events],
+            latencies_by_finish=[
+                (r.finish_step, float(r.latency_steps))
+                for r in sim.stats.messages
+                if r.delivered and r.finish_step is not None
+            ],
+        )
+
     return ThroughputResult(
         policy=getattr(sim.router, "name", "?"),
         pattern=source.pattern,
@@ -249,6 +290,9 @@ def measure_open_loop(
         p99_setup_latency=percentile(latencies, 0.99),
         samples=tuple(samples),
         steps=sim.current_step,
+        fault_events=len(fault_events),
+        fault_dropped=sim.stats.fault_dropped_circuits,
+        slo=slo,
     )
 
 
@@ -267,6 +311,10 @@ def run_throughput_point(
     contention: bool = True,
     batch_by_node: bool = True,
     setup_timeout: Optional[int] = None,
+    fault_rate: float = 0.0,
+    repair_after: int = 0,
+    fault_schedule: Optional[DynamicFaultSchedule] = None,
+    trace_out: Optional[str] = None,
 ) -> ThroughputResult:
     """One self-contained open-loop measurement point.
 
@@ -276,6 +324,15 @@ def run_throughput_point(
     ``seed``; the fault layout and injection stream are policy-independent,
     so per-policy curves measured with the same seed are comparable
     point-for-point.
+
+    Dynamic faults during the measurement come from one of two places, in
+    precedence order: an explicit ``fault_schedule`` (its initial faults
+    replace the seeded static layout), or ``fault_rate > 0`` — a seeded
+    MTBF/MTTR workload (:func:`~repro.faults.workload.mtbf_schedule`) firing
+    inside the measurement window on top of the static set, each fault
+    repaired ``repair_after`` steps later (0 = permanent).  The workload
+    stream is seeded independently of the injection stream and is
+    policy-independent, so per-policy runs see identical fault timelines.
 
     Endpoints exclude every *block* node (faulty or disabled): a setup to a
     disabled node can never deliver, and the source retries failed setups.
@@ -287,9 +344,24 @@ def run_throughput_point(
     measurement.
     """
     mesh = Mesh(tuple(shape))
+    windows = windows or MeasurementWindows()
     rng = np.random.default_rng(seed)
     fault_nodes = uniform_random_faults(mesh, faults, rng, margin=1)
-    schedule = DynamicFaultSchedule.static(fault_nodes)
+    if fault_schedule is not None:
+        schedule = fault_schedule
+        fault_nodes = tuple(sorted(schedule.initial_faults))
+    elif fault_rate > 0.0:
+        schedule = workload_schedule(
+            mesh,
+            rate=fault_rate,
+            start=windows.warmup,
+            stop=windows.injection_stop,
+            repair_after=repair_after,
+            seed=np.random.default_rng([seed, 0xFA17]),
+            initial=fault_nodes,
+        )
+    else:
+        schedule = DynamicFaultSchedule.static(fault_nodes)
     blocked = build_blocks(mesh, fault_nodes).state.block_nodes if fault_nodes else ()
     source = OpenLoopSource(
         mesh,
@@ -310,5 +382,10 @@ def run_throughput_point(
         max_steps=10**9,  # the measurement horizon bounds the run
     )
     return measure_open_loop(
-        mesh, source, schedule=schedule, config=config, windows=windows
+        mesh,
+        source,
+        schedule=schedule,
+        config=config,
+        windows=windows,
+        trace_out=trace_out,
     )

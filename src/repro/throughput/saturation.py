@@ -134,13 +134,17 @@ def load_curves(
     windows: Optional[MeasurementWindows] = None,
     workers: int = 1,
     name: str = "throughput",
+    fault_rate: float = 0.0,
+    repair_after: int = 0,
 ):
     """Per-policy load curves via the experiment grid.
 
     Returns ``(batch, curves)``: the raw
     :class:`~repro.experiments.results.BatchResult` (canonical JSON export,
     worker-count independent) and a ``{policy: LoadCurve}`` mapping with
-    replicate seeds averaged per rate.
+    replicate seeds averaged per rate.  ``fault_rate``/``repair_after``
+    switch on the dynamic MTBF fault workload inside every cell's
+    measurement window (see :func:`~repro.throughput.measure.run_throughput_point`).
     """
     # Imported here so repro.throughput stays importable without pulling the
     # experiments package in (and to keep the import graph acyclic).
@@ -163,6 +167,8 @@ def load_curves(
         warmup=windows.warmup,
         measure=windows.measure,
         drain=windows.drain,
+        fault_rates=(fault_rate,),
+        repair_after=repair_after,
     )
     batch = run_batch(spec, workers=workers)
     rows = throughput_rows(batch)  # single source of replicate averaging
@@ -230,6 +236,8 @@ def saturation_for_policy(
     iterations: int = 7,
     latency_factor: float = 3.0,
     min_acceptance: float = 0.9,
+    fault_rate: float = 0.0,
+    repair_after: int = 0,
 ) -> Tuple[float, List[LoadPoint]]:
     """Convenience: :func:`find_saturation` over :func:`run_throughput_point`."""
 
@@ -245,6 +253,8 @@ def saturation_for_policy(
             seed=seed,
             injection=injection,
             windows=windows,
+            fault_rate=fault_rate,
+            repair_after=repair_after,
         )
 
     return find_saturation(

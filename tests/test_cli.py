@@ -257,7 +257,7 @@ class TestObservabilityCommands:
         # Telemetry lands in its own file; the canonical JSON is unchanged.
         assert out_plain.read_bytes() == out_telemetry.read_bytes()
         payload = json.loads(telemetry_path.read_text())
-        assert payload["telemetry"]["version"] == 1
+        assert payload["telemetry"]["version"] == 2
         assert payload["telemetry"]["cells"] == 1
 
         assert main(["report", str(telemetry_path)]) == 0

@@ -421,7 +421,7 @@ class TestSweepTelemetry:
         assert telemetry.busy_seconds == 2.5
         assert telemetry.worker_utilization == pytest.approx(2.5 / 4.0)
         payload = telemetry.to_dict()
-        assert payload["telemetry"]["version"] == 1
+        assert payload["telemetry"]["version"] == 2
         assert SweepTelemetry.from_dict(payload) == telemetry
         with pytest.raises(ValueError, match="unsupported telemetry version"):
             SweepTelemetry.from_dict({"telemetry": {"version": 99}})

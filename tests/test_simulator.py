@@ -117,15 +117,20 @@ class TestDynamicFaults:
             assert record.steps_to_stabilize(config.lam) <= 30
 
     def test_routing_during_dynamic_fault_still_delivers(self, mesh2d):
-        """Faults appearing mid-flight cause detours, not failures."""
+        """Faults appearing near the path cause detours, not failures.
+
+        The faults land ahead of the probe, never on a node of its partial
+        circuit — a fault hitting the circuit itself tears the probe down
+        (see test_fault_recovery.py for that semantics).
+        """
         # The message walks east along y=5 while a block forms on its path.
-        schedule = dynamic_schedule([(5, 5), (6, 6), (6, 4)], start_time=1, interval=4)
+        schedule = dynamic_schedule([(5, 5), (6, 6)], start_time=1, interval=4)
         traffic = [TrafficMessage(source=(0, 5), destination=(9, 5), start_time=0)]
         config = SimulationConfig(lam=2)
         result = Simulator(mesh2d, schedule=schedule, traffic=traffic, config=config).run()
         record = result.stats.messages[0]
         assert record.delivered
-        assert record.result.hops >= 9
+        assert record.result.hops > 9
 
     def test_recovery_dissolves_information(self, mesh3d):
         scenario = figure4_recovery_scenario(recovery_time=2)

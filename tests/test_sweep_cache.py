@@ -56,6 +56,8 @@ class TestFingerprint:
             {"scenario": "hotspot"},
             {"contention": not cell.contention},
             {"warmup": cell.warmup + 1},
+            {"fault_rate": 0.02},
+            {"repair_after": 40},
         ):
             assert cell_fingerprint(dataclasses.replace(cell, **change)) != base, change
 
