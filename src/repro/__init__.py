@@ -74,7 +74,7 @@ from repro.routing import (
 )
 from repro.simulator import SimulationConfig, SimulationResult, Simulator
 
-__version__ = "0.6.0"
+__version__ = "0.7.0"
 
 __all__ = [
     "BlockConstructionResult",

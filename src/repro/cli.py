@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction library.
 
-Seven subcommands cover the workflows the experiments use:
+Eight subcommands cover the workflows the experiments use:
 
 * ``repro-mesh route``       — route one source/destination pair against a
   static fault set, under any policy;
@@ -17,7 +17,11 @@ Seven subcommands cover the workflows the experiments use:
   per-policy load-latency/throughput curves;
 * ``repro-mesh report``      — render an observability artifact (a JSONL
   step trace from ``simulate --trace-out`` or a telemetry JSON from
-  ``sweep --telemetry-out``) as an ASCII table with sparklines.
+  ``sweep --telemetry-out``) as an ASCII table with sparklines;
+* ``repro-mesh serve``       — run the asyncio HTTP service
+  (:mod:`repro.service`): submit ``repro.spec/v1`` payloads over POST,
+  stream per-cell results as NDJSON, fetch the canonical
+  ``repro.result/v1`` JSON — byte-identical to ``sweep --out``.
 
 The mesh is either the uniform ``--radix``/``--dims`` cube or an explicit
 rectangular ``--shape 16,8,4`` (the two options are mutually exclusive).
@@ -41,7 +45,14 @@ from repro.analysis.throughput import throughput_rows
 from repro.backend import ENV_VAR as BACKEND_ENV_VAR
 from repro.backend import available_backends, resolve_backend
 from repro.core.block_construction import build_blocks
-from repro.experiments import ENGINES, MODES, ExperimentSpec, ResultCache, run_batch
+from repro.experiments import (
+    ENGINES,
+    MODES,
+    SPEC_SCHEMA,
+    ExperimentSpec,
+    ResultCache,
+    run_batch,
+)
 from repro.faults.injection import uniform_random_faults
 from repro.mesh.topology import Mesh
 from repro.routing import available_routers, resolve_router
@@ -240,6 +251,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run a declarative experiment grid (repro.experiments) and emit JSON",
     )
     sweep.add_argument(
+        "--spec", default=None, metavar="FILE.json",
+        help="read the whole grid from a versioned repro.spec/v1 JSON "
+        "document (the payload ExperimentSpec.to_dict emits and the HTTP "
+        "service accepts) instead of the grid flags below",
+    )
+    sweep.add_argument(
         "--shape", action="append", default=None,
         help="mesh shape, e.g. 16,8,4 (repeatable; mutually exclusive with --radix/--dims)",
     )
@@ -334,6 +351,51 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--width", type=int, default=60, help="sparkline width in characters"
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP experiment service (repro.service): submit "
+        "repro.spec/v1 payloads, stream NDJSON cell results, fetch "
+        "canonical repro.result/v1 JSON",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8642, help="bind port (0 = auto)")
+    serve.add_argument(
+        "--max-running", type=int, default=2,
+        help="jobs executing concurrently (forced to 1 when --workers > 1, "
+        "because the process pool is shared)",
+    )
+    serve.add_argument(
+        "--max-queued", type=int, default=16,
+        help="jobs allowed to wait; submissions beyond this answer "
+        "429 with Retry-After (backpressure)",
+    )
+    serve.add_argument(
+        "--engine", choices=ENGINES, default="auto",
+        help="cell execution engine for every job (same semantics as "
+        "sweep --engine)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes per job (1 = in-process)",
+    )
+    serve_cache = serve.add_mutually_exclusive_group()
+    serve_cache.add_argument(
+        "--cache-dir", default=None,
+        help="result-cache directory shared by all jobs (default "
+        "$REPRO_CACHE_DIR or ~/.cache/repro-mesh); overlapping "
+        "submissions share content-addressed entries",
+    )
+    serve_cache.add_argument(
+        "--no-cache", action="store_true",
+        help="run every job without the result cache",
+    )
+    serve.add_argument(
+        "--shard-timeout", type=float, default=None,
+        help="pool inactivity budget in seconds (same semantics as "
+        "sweep --shard-timeout)",
+    )
+    _add_backend_argument(serve)
 
     throughput = sub.add_parser(
         "throughput",
@@ -547,30 +609,61 @@ def _cmd_convergence(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
+def _sweep_spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    """Build the sweep's spec — from ``--spec FILE.json`` or the grid flags.
+
+    Both paths go through :meth:`ExperimentSpec.from_dict`, so a file, an
+    HTTP submission and a flag-built grid are validated identically.
+    """
+    if args.spec is not None:
+        if args.shape or args.radix is not None or args.dims is not None:
+            raise argparse.ArgumentTypeError(
+                "--spec carries the whole grid; it is mutually exclusive "
+                "with --shape/--radix/--dims"
+            )
+        import json as _json
+
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                payload = _json.load(handle)
+        except OSError as exc:
+            raise argparse.ArgumentTypeError(f"cannot read --spec file: {exc}")
+        except _json.JSONDecodeError as exc:
+            raise argparse.ArgumentTypeError(f"--spec file is not valid JSON: {exc}")
+        try:
+            return ExperimentSpec.from_dict(payload)
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(str(exc))
+
     shapes = _resolve_shapes(args.shape or [], args.radix, args.dims)
     scenarios: Tuple[str, ...] = ()
     if args.scenarios:
         scenarios = tuple(s.strip() for s in args.scenarios.split(",") if s.strip())
+    payload = {
+        "schema": SPEC_SCHEMA,
+        "name": args.name,
+        "mode": args.mode,
+        "mesh_shapes": [list(shape) for shape in shapes],
+        "policies": [p.strip() for p in args.policies.split(",") if p.strip()],
+        "scenarios": list(scenarios),
+        "fault_counts": list(args.faults),
+        "fault_intervals": list(args.interval),
+        "lams": list(args.lam),
+        "traffic_sizes": list(args.messages),
+        "seeds": list(args.seeds),
+        "contention": args.contention,
+        "flits": list(args.flits),
+        "fault_rates": list(args.fault_rate),
+        "repair_after": args.repair_after,
+    }
     try:
-        spec = ExperimentSpec(
-            name=args.name,
-            mode=args.mode,
-            mesh_shapes=shapes,
-            policies=tuple(p.strip() for p in args.policies.split(",") if p.strip()),
-            scenarios=scenarios,
-            fault_counts=args.faults,
-            fault_intervals=args.interval,
-            lams=args.lam,
-            traffic_sizes=args.messages,
-            seeds=args.seeds,
-            contention=args.contention,
-            flits=args.flits,
-            fault_rates=args.fault_rate,
-            repair_after=args.repair_after,
-        )
+        return ExperimentSpec.from_dict(payload)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc))
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = _sweep_spec_from_args(args)
     cache = None
     if (args.cache or args.resume or args.cache_dir is not None) and not args.no_cache:
         cache = (
@@ -612,6 +705,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"wrote {len(batch)} cell results to {args.out}", file=sys.stderr)
     else:
         print(payload)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import make_service
+
+    cache_dir = None
+    if not args.no_cache:
+        if args.cache_dir is not None:
+            cache_dir = args.cache_dir
+        else:
+            from repro.experiments.cache import default_cache_dir
+
+            cache_dir = str(default_cache_dir())
+    service = make_service(
+        host=args.host,
+        port=args.port,
+        max_running=args.max_running,
+        max_queued=args.max_queued,
+        engine=args.engine,
+        workers=args.workers,
+        cache_dir=cache_dir,
+        shard_timeout=args.shard_timeout,
+    )
+    try:
+        asyncio.run(service.serve_forever())
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        pass
     return 0
 
 
@@ -751,6 +874,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "convergence": _cmd_convergence,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
     "throughput": _cmd_throughput,
     "report": _cmd_report,
 }

@@ -24,25 +24,44 @@ whole fleets of scenarios can be swept, compared and persisted uniformly:
   ``BatchResult.telemetry`` — observational only, never part of the
   canonical JSON.
 
-The ``repro-mesh sweep`` CLI subcommand, the comparison benchmarks and
+The ``repro-mesh sweep`` CLI subcommand, the HTTP service
+(:mod:`repro.service`), the comparison benchmarks and
 ``examples/policy_comparison.py`` all route through this package.
+
+**Stable public surface.** ``__all__`` below *is* the supported API of
+this package: specs are built with keyword arguments or parsed from the
+versioned ``repro.spec/v1`` payload via :meth:`ExperimentSpec.from_dict`,
+batches run through :func:`run_batch` (keyword options only), and results
+export as the ``repro.result/v1`` payload via
+:meth:`BatchResult.to_dict`/``to_json``.  Historic call forms — positional
+``ExperimentSpec(...)`` arguments, positional ``run_batch`` options,
+schema-less spec payloads and ``run_batch_stacked`` — keep working for one
+release with a :class:`DeprecationWarning`.
 """
 
 from repro.experiments.cache import CacheStats, ResultCache, cell_fingerprint
-from repro.experiments.results import BatchResult, CellResult
-from repro.experiments.runner import ENGINES, run_batch, run_cell, shutdown_pool
+from repro.experiments.results import RESULT_SCHEMA, BatchResult, CellResult
+from repro.experiments.runner import (
+    ENGINES,
+    BatchCancelled,
+    run_batch,
+    run_cell,
+    shutdown_pool,
+)
 from repro.obs.telemetry import ShardRecord, SweepTelemetry
 from repro.experiments.shard import Shard, plan_shards, probe_table_eligible
 from repro.experiments.spec import (
     MODES,
     OFFLINE_POLICIES,
     SIMULATE_POLICIES,
+    SPEC_SCHEMA,
     ExperimentCell,
     ExperimentSpec,
     derive_cell_seed,
 )
 
 __all__ = [
+    "BatchCancelled",
     "BatchResult",
     "CacheStats",
     "CellResult",
@@ -51,8 +70,10 @@ __all__ = [
     "ExperimentSpec",
     "MODES",
     "OFFLINE_POLICIES",
+    "RESULT_SCHEMA",
     "ResultCache",
     "SIMULATE_POLICIES",
+    "SPEC_SCHEMA",
     "Shard",
     "ShardRecord",
     "SweepTelemetry",

@@ -20,6 +20,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.experiments.spec import ExperimentCell, ExperimentSpec
 from repro.obs.telemetry import SweepTelemetry
 
+#: Version tag of the batch-result wire/file payload.  The JSON a
+#: ``repro-mesh sweep --out`` file holds and the body the HTTP service
+#: serves for a finished job are the same ``repro.result/v1`` document —
+#: byte for byte.
+RESULT_SCHEMA = "repro.result/v1"
+
 
 @dataclass(frozen=True)
 class CellResult:
@@ -101,7 +107,9 @@ class BatchResult:
     # export
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict:
+        """The canonical ``repro.result/v1`` payload."""
         return {
+            "schema": RESULT_SCHEMA,
             "spec": self.spec.to_dict(),
             "cells": [r.to_dict() for r in self.results],
         }
@@ -113,6 +121,63 @@ class BatchResult:
         serial and parallel runs of the same spec serialize byte-identically.
         """
         return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: object) -> "BatchResult":
+        """Parse the canonical ``repro.result/v1`` payload back into a batch.
+
+        The embedded spec goes through
+        :meth:`~repro.experiments.spec.ExperimentSpec.from_dict` — the same
+        parser every other door uses — and each cell entry is re-attached
+        to the spec's own expansion at its grid index, with the stored
+        ``cell_seed`` cross-checked so a payload whose cells do not belong
+        to its spec is rejected rather than silently re-labeled.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"result payload must be a JSON object, got {type(data).__name__}"
+            )
+        schema = data.get("schema")
+        if schema != RESULT_SCHEMA:
+            raise ValueError(
+                f"unsupported result schema {schema!r} "
+                f"(this build speaks {RESULT_SCHEMA!r})"
+            )
+        spec = ExperimentSpec.from_dict(data.get("spec"))
+        cells = spec.cells()
+        entries = data.get("cells")
+        if not isinstance(entries, list):
+            raise ValueError("result field 'cells': expected a list")
+        results = []
+        for entry in entries:
+            if not isinstance(entry, dict) or "index" not in entry:
+                raise ValueError("result cell entries need an 'index' field")
+            index = entry["index"]
+            if not isinstance(index, int) or not 0 <= index < len(cells):
+                raise ValueError(
+                    f"result cell index {index!r} outside the spec's "
+                    f"{len(cells)}-cell grid"
+                )
+            cell = cells[index]
+            if entry.get("cell_seed") != cell.cell_seed:
+                raise ValueError(
+                    f"result cell {index} does not match the embedded spec "
+                    "(cell_seed mismatch)"
+                )
+            metrics = entry.get("metrics")
+            if not isinstance(metrics, dict):
+                raise ValueError(f"result cell {index}: 'metrics' must be an object")
+            results.append(CellResult(cell=cell, metrics=dict(metrics)))
+        return cls(spec=spec, results=tuple(results))
+
+    @classmethod
+    def from_json(cls, text: str) -> "BatchResult":
+        """Parse the JSON text :meth:`to_json` produced."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"result payload is not valid JSON: {exc}")
+        return cls.from_dict(payload)
 
     def telemetry_dict(self) -> Optional[dict]:
         """The versioned telemetry payload, or ``None`` when none was

@@ -37,11 +37,12 @@ from __future__ import annotations
 import atexit
 import os
 import signal
+import warnings
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from math import ceil
 from time import perf_counter
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -74,6 +75,18 @@ Coord = Tuple[int, ...]
 
 #: Engines :func:`run_batch` accepts.
 ENGINES = ("auto", "serial", "stacked")
+
+
+class BatchCancelled(BaseException):
+    """Raised *by an ``on_cell_done`` callback* to abort a batch cleanly.
+
+    This is the one sanctioned way to stop :func:`run_batch` mid-grid (the
+    HTTP service's job cancellation rides it): it propagates out of the
+    batch at the next cell boundary, while every *other* exception a
+    callback raises is suppressed and recorded — a broken progress hook
+    must never cost the sweep.  Deliberately a ``BaseException`` so a
+    careless ``except Exception`` inside a callback can't swallow it.
+    """
 
 
 def _offline_faults(
@@ -528,9 +541,14 @@ def _run_serial_engine(
     )
 
 
+#: Historic meaning of extra positional ``run_batch`` arguments, for the
+#: deprecation shim below.
+_RUN_BATCH_LEGACY_POSITIONALS = ("workers", "engine")
+
+
 def run_batch(
-    spec: ExperimentSpec,
-    *,
+    spec: Union[ExperimentSpec, dict],
+    *legacy: object,
     workers: int = 1,
     engine: str = "auto",
     cache: Optional[ResultCache] = None,
@@ -538,6 +556,12 @@ def run_batch(
     shard_timeout: Optional[float] = None,
 ) -> BatchResult:
     """Run every cell of ``spec`` and collect the results in grid order.
+
+    ``spec`` is an :class:`ExperimentSpec` or a ``repro.spec/v1`` payload
+    dict (parsed through :meth:`ExperimentSpec.from_dict` — the same
+    contract the CLI and the HTTP service speak).  Everything after it is
+    keyword-only; the old positional ``(workers, engine)`` form still
+    works for one release with a :class:`DeprecationWarning`.
 
     ``engine`` selects the execution strategy (see module docstring):
     ``"auto"`` shards stacked groups and serial chunks across ``workers``
@@ -565,7 +589,30 @@ def run_batch(
     :class:`~repro.obs.telemetry.SweepTelemetry` (per-shard wall times,
     worker utilization, cache hit counts) on ``result.telemetry`` —
     observational only, excluded from the canonical JSON export.
+
+    An exception raised *inside* ``on_cell_done`` never abandons the sweep
+    or wedges the persistent pool: it is suppressed, counted, and surfaces
+    as a ``callback-error`` incident in the telemetry.  The one exception
+    to that rule is :class:`BatchCancelled`, the sanctioned cooperative
+    abort, which propagates at the cell boundary that raised it.
     """
+    if legacy:
+        warnings.warn(
+            "positional run_batch arguments beyond the spec are deprecated: "
+            "pass workers=/engine= as keywords",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if len(legacy) > len(_RUN_BATCH_LEGACY_POSITIONALS):
+            raise TypeError(
+                f"run_batch takes at most {1 + len(_RUN_BATCH_LEGACY_POSITIONALS)} "
+                "positional arguments"
+            )
+        positional = dict(zip(_RUN_BATCH_LEGACY_POSITIONALS, legacy))
+        workers = positional.get("workers", workers)  # type: ignore[assignment]
+        engine = positional.get("engine", engine)  # type: ignore[assignment]
+    if isinstance(spec, dict):
+        spec = ExperimentSpec.from_dict(spec)
     if engine not in ENGINES:
         raise ValueError(f"unknown batch engine {engine!r} (choose from {ENGINES})")
     batch_start = perf_counter()
@@ -574,13 +621,23 @@ def run_batch(
     shard_records: List[ShardRecord] = []
     pool_incidents: List[PoolIncident] = []
     effective_workers = 1
+    callback_errors = 0
 
     def land(index: int, result: CellResult, *, fresh: bool = True) -> None:
+        nonlocal callback_errors
         if fresh and cache is not None:
             cache.put(result.cell, result.metrics)
         results[index] = result
         if on_cell_done is not None:
-            on_cell_done(result)
+            try:
+                on_cell_done(result)
+            except BatchCancelled:
+                raise
+            except Exception:
+                # The cell itself landed fine; only the progress hook is
+                # broken.  Keep landing cells and account for the failure
+                # in the telemetry instead of tearing the batch down.
+                callback_errors += 1
 
     pending: List[Tuple[int, ExperimentCell]] = []
     for index, cell in enumerate(cells):
@@ -640,6 +697,12 @@ def run_batch(
                 shard_timeout=shard_timeout,
             )
 
+    if callback_errors:
+        pool_incidents.append(
+            PoolIncident(
+                kind="callback-error", shards=callback_errors, action="suppressed"
+            )
+        )
     telemetry = SweepTelemetry(
         engine=engine,
         workers=max(1, effective_workers),

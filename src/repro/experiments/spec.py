@@ -13,16 +13,29 @@ axes.  The policy axis is deliberately **excluded** from the derivation, so
 cells that differ only in policy share the exact same mesh, fault layout and
 traffic — policy columns of a result table are directly comparable, and a
 batch produces identical results no matter how many workers ran it.
+
+The spec also *is* the wire format: :meth:`ExperimentSpec.to_dict` emits the
+versioned ``repro.spec/v1`` payload and :meth:`ExperimentSpec.from_dict` is
+the one canonical parser for it — the ``sweep`` CLI flags, ``--spec
+FILE.json`` and the HTTP service body (:mod:`repro.service`) all build their
+spec through it, so a grid means the same thing no matter which door it
+came in through.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, fields as dataclass_fields
 from itertools import product
 from typing import Iterable, Iterator, List, Tuple, Union
 
 from repro.routing import available_routers
+
+#: Version tag of the spec wire/file payload.  Bump when the payload layout
+#: changes incompatibly; :meth:`ExperimentSpec.from_dict` rejects payloads
+#: declaring any other schema.
+SPEC_SCHEMA = "repro.spec/v1"
 
 #: Experiment modes: ``simulate`` runs the step-synchronous simulator with a
 #: dynamic fault schedule; ``offline`` routes a batch of messages against a
@@ -169,6 +182,111 @@ def _float_axis(value: Union[float, Iterable[float]]) -> Tuple[float, ...]:
     if isinstance(value, (int, float)):
         return (float(value),)
     return tuple(float(v) for v in value)
+
+
+# ---------------------------------------------------------------------- #
+# payload parsing (repro.spec/v1)
+# ---------------------------------------------------------------------- #
+def _field_error(name: str, expected: str, value: object) -> ValueError:
+    return ValueError(
+        f"spec field {name!r}: expected {expected}, "
+        f"got {value!r} ({type(value).__name__})"
+    )
+
+
+def _parse_str(name: str, value: object) -> str:
+    if not isinstance(value, str):
+        raise _field_error(name, "a string", value)
+    return value
+
+
+def _parse_int(name: str, value: object) -> int:
+    # bool is an int subclass; a JSON true/false where a count belongs is
+    # always a mistake worth naming.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _field_error(name, "an integer", value)
+    return value
+
+
+def _parse_bool(name: str, value: object) -> bool:
+    if not isinstance(value, bool):
+        raise _field_error(name, "a boolean", value)
+    return value
+
+
+def _parse_int_list(name: str, value: object) -> Tuple[int, ...]:
+    if isinstance(value, bool) or (
+        not isinstance(value, (int, list, tuple))
+    ):
+        raise _field_error(name, "an integer or a list of integers", value)
+    items = [value] if isinstance(value, int) else list(value)
+    for item in items:
+        if isinstance(item, bool) or not isinstance(item, int):
+            raise _field_error(name, "a list of integers", value)
+    return tuple(items)
+
+
+def _parse_float_list(name: str, value: object) -> Tuple[float, ...]:
+    if isinstance(value, bool) or not isinstance(value, (int, float, list, tuple)):
+        raise _field_error(name, "a number or a list of numbers", value)
+    items = [value] if isinstance(value, (int, float)) else list(value)
+    for item in items:
+        if isinstance(item, bool) or not isinstance(item, (int, float)):
+            raise _field_error(name, "a list of numbers", value)
+    return tuple(float(item) for item in items)
+
+
+def _parse_str_list(name: str, value: object) -> Tuple[str, ...]:
+    if isinstance(value, str):
+        return (value,)
+    if not isinstance(value, (list, tuple)) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise _field_error(name, "a string or a list of strings", value)
+    return tuple(value)
+
+
+def _parse_shapes(name: str, value: object) -> Tuple[Tuple[int, ...], ...]:
+    if not isinstance(value, (list, tuple)):
+        raise _field_error(name, "a list of mesh shapes (lists of integers)", value)
+    shapes = []
+    for shape in value:
+        if (
+            not isinstance(shape, (list, tuple))
+            or not shape
+            or any(isinstance(r, bool) or not isinstance(r, int) for r in shape)
+        ):
+            raise _field_error(
+                name, "a list of mesh shapes (non-empty lists of integers)", value
+            )
+        shapes.append(tuple(shape))
+    return tuple(shapes)
+
+
+#: The parseable payload fields, in :class:`ExperimentSpec` field order.
+#: ``schema`` and ``cell_count`` are handled separately (version tag and
+#: derived output, respectively).
+_FIELD_PARSERS = {
+    "name": _parse_str,
+    "mode": _parse_str,
+    "mesh_shapes": _parse_shapes,
+    "policies": _parse_str_list,
+    "fault_counts": _parse_int_list,
+    "fault_intervals": _parse_int_list,
+    "lams": _parse_int_list,
+    "traffic_sizes": _parse_int_list,
+    "seeds": _parse_int_list,
+    "contention": _parse_bool,
+    "flits": _parse_int_list,
+    "scenarios": _parse_str_list,
+    "rates": _parse_float_list,
+    "injection": _parse_str,
+    "warmup": _parse_int,
+    "measure": _parse_int,
+    "drain": _parse_int,
+    "fault_rates": _parse_float_list,
+    "repair_after": _parse_int,
+}
 
 
 @dataclass(frozen=True)
@@ -372,9 +490,58 @@ class ExperimentSpec:
                 )
                 index += 1
 
+    @classmethod
+    def from_dict(cls, data: object) -> "ExperimentSpec":
+        """Parse the canonical ``repro.spec/v1`` payload into a spec.
+
+        This is *the* parser for the wire and file formats: the ``sweep``
+        CLI (both its grid flags and ``--spec FILE.json``), the HTTP
+        service body and round-trips of :meth:`to_dict` all come through
+        here, so every door validates identically.  Unknown keys, wrong
+        types and out-of-range values are rejected with errors naming the
+        offending field; a payload without a ``schema`` tag is accepted
+        with a :class:`DeprecationWarning` for one release.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"spec payload must be a JSON object, got {type(data).__name__}"
+            )
+        payload = dict(data)
+        schema = payload.pop("schema", None)
+        if schema is None:
+            warnings.warn(
+                "spec payloads without a 'schema' field are deprecated; "
+                f"declare 'schema': {SPEC_SCHEMA!r}",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        elif schema != SPEC_SCHEMA:
+            raise ValueError(
+                f"unsupported spec schema {schema!r} "
+                f"(this build speaks {SPEC_SCHEMA!r})"
+            )
+        # Derived on export; never an input (the grid size is what the
+        # axes say it is).
+        payload.pop("cell_count", None)
+        unknown = sorted(set(payload) - set(_FIELD_PARSERS))
+        if unknown:
+            raise ValueError(
+                "unknown spec field(s) "
+                + ", ".join(repr(k) for k in unknown)
+                + "; valid fields: "
+                + ", ".join(sorted([*_FIELD_PARSERS, "schema"]))
+            )
+        kwargs = {
+            name: parser(name, payload[name])
+            for name, parser in _FIELD_PARSERS.items()
+            if name in payload
+        }
+        return cls(**kwargs)
+
     def to_dict(self) -> dict:
-        """JSON-serializable description of the spec."""
+        """The canonical ``repro.spec/v1`` payload (JSON-serializable)."""
         return {
+            "schema": SPEC_SCHEMA,
             "name": self.name,
             "mode": self.mode,
             "mesh_shapes": [list(s) for s in self.mesh_shapes],
@@ -396,3 +563,36 @@ class ExperimentSpec:
             "repair_after": self.repair_after,
             "cell_count": self.cell_count,
         }
+
+
+# ---------------------------------------------------------------------- #
+# deprecation shim: positional construction
+# ---------------------------------------------------------------------- #
+# The stable constructor surface is keyword arguments (or from_dict); the
+# historic positional form keeps working for one release with a warning.
+_SPEC_FIELD_ORDER = tuple(f.name for f in dataclass_fields(ExperimentSpec))
+_SPEC_DATACLASS_INIT = ExperimentSpec.__init__
+
+
+def _spec_init_shim(self, *args, **kwargs) -> None:
+    if args:
+        warnings.warn(
+            "positional ExperimentSpec(...) arguments are deprecated and "
+            "will become keyword-only: pass keywords or parse a payload "
+            "with ExperimentSpec.from_dict",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if len(args) > len(_SPEC_FIELD_ORDER):
+            raise TypeError(
+                f"ExperimentSpec takes at most {len(_SPEC_FIELD_ORDER)} arguments"
+            )
+        for name, value in zip(_SPEC_FIELD_ORDER, args):
+            if name in kwargs:
+                raise TypeError(f"ExperimentSpec got multiple values for {name!r}")
+            kwargs[name] = value
+    _SPEC_DATACLASS_INIT(self, **kwargs)
+
+
+_spec_init_shim.__wrapped__ = _SPEC_DATACLASS_INIT
+ExperimentSpec.__init__ = _spec_init_shim  # type: ignore[method-assign]

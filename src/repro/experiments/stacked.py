@@ -140,11 +140,19 @@ def run_batch_stacked(
 ) -> BatchResult:
     """Run ``spec`` with same-shape simulate cells stacked on shared tables.
 
-    The drop-in single-process alternative to the serial
-    :func:`~repro.experiments.runner.run_batch` loop (reachable there via
-    ``engine="stacked"``): identical results in grid order, with
-    ``on_cell_done`` fired in completion order.
+    .. deprecated::
+        The historic engine-specific entry point, superseded by
+        ``run_batch(spec, engine="stacked")`` — which adds worker fan-out,
+        caching and telemetry on the same lockstep execution.  Kept
+        working for one release.
     """
+    import warnings
+
+    warnings.warn(
+        'run_batch_stacked is deprecated: use run_batch(spec, engine="stacked")',
+        DeprecationWarning,
+        stacklevel=2,
+    )
     cells = spec.cells()
     results: List[Optional[CellResult]] = [None] * len(cells)
 

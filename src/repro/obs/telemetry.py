@@ -49,19 +49,22 @@ class ShardRecord:
 
 @dataclass(frozen=True)
 class PoolIncident:
-    """One fault-tolerance intervention during pool dispatch.
+    """One fault-tolerance intervention during batch execution.
 
     ``kind`` names what went wrong (``"pool-broken"`` — a worker process
     died and took the executor with it; ``"timeout"`` — no shard completed
-    within the inactivity budget); ``shards`` counts the work items that
-    were outstanding; ``action`` is the recovery taken (``"retried"`` —
-    pool rebuilt and shards resubmitted, ``"serial"`` — remaining shards
-    degraded to in-process execution).
+    within the inactivity budget; ``"callback-error"`` — an
+    ``on_cell_done`` progress hook raised); ``shards`` counts the work
+    items affected (for ``callback-error``, the number of failed callback
+    invocations); ``action`` is the recovery taken (``"retried"`` — pool
+    rebuilt and shards resubmitted, ``"serial"`` — remaining shards
+    degraded to in-process execution, ``"suppressed"`` — the callback's
+    exception was swallowed and the sweep kept landing cells).
     """
 
-    kind: str  #: "pool-broken" | "timeout"
+    kind: str  #: "pool-broken" | "timeout" | "callback-error"
     shards: int
-    action: str  #: "retried" | "serial"
+    action: str  #: "retried" | "serial" | "suppressed"
 
     def to_dict(self) -> dict:
         return {"kind": self.kind, "shards": self.shards, "action": self.action}
